@@ -1,0 +1,331 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpo::bdd {
+
+BddManager::BddManager(Var num_vars, std::size_t node_limit)
+    : num_vars_(num_vars), node_limit_(node_limit) {
+  // Terminals sit below every variable level.
+  nodes_.push_back({num_vars_, kFalse, kFalse});  // index 0 = false
+  nodes_.push_back({num_vars_, kTrue, kTrue});    // index 1 = true
+}
+
+Ref BddManager::make_node(Var var, Ref low, Ref high) {
+  if (low == high) return low;  // redundant-test elimination
+  NodeKey key{var, low, high};
+  auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  if (nodes_.size() >= node_limit_) throw BddLimitExceeded(node_limit_);
+  Ref ref = static_cast<Ref>(nodes_.size());
+  nodes_.push_back({var, low, high});
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+Ref BddManager::var(Var v) { return make_node(v, kFalse, kTrue); }
+Ref BddManager::nvar(Var v) { return make_node(v, kTrue, kFalse); }
+
+Ref BddManager::ite(Ref f, Ref g, Ref h) { return ite_rec(f, g, h); }
+
+Ref BddManager::ite_rec(Ref f, Ref g, Ref h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  TripleKey key{f, g, h};
+  if (auto it = ite_cache_.find(key); it != ite_cache_.end())
+    return it->second;
+
+  Var top = nodes_[f].var;
+  top = std::min(top, nodes_[g].var);
+  top = std::min(top, nodes_[h].var);
+
+  auto cof = [&](Ref x, bool hi) -> Ref {
+    if (nodes_[x].var != top) return x;
+    return hi ? nodes_[x].high : nodes_[x].low;
+  };
+
+  Ref lo = ite_rec(cof(f, false), cof(g, false), cof(h, false));
+  Ref hi = ite_rec(cof(f, true), cof(g, true), cof(h, true));
+  Ref result = make_node(top, lo, hi);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+Ref BddManager::cube(const std::vector<Var>& vars) {
+  std::vector<Var> sorted = vars;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  Ref c = kTrue;
+  for (Var v : sorted) c = make_node(v, kFalse, c);
+  return c;
+}
+
+Ref BddManager::exists(Ref f, Ref cube) {
+  std::unordered_map<TripleKey, Ref, TripleKeyHash> cache;
+  return exists_rec(f, cube, cache, /*universal=*/false);
+}
+
+Ref BddManager::forall(Ref f, Ref cube) {
+  std::unordered_map<TripleKey, Ref, TripleKeyHash> cache;
+  return exists_rec(f, cube, cache, /*universal=*/true);
+}
+
+Ref BddManager::exists_rec(
+    Ref f, Ref cube, std::unordered_map<TripleKey, Ref, TripleKeyHash>& cache,
+    bool universal) {
+  if (is_terminal(f)) return f;
+  // Skip quantified variables above f's top level: they don't constrain f.
+  while (!is_terminal(cube) && nodes_[cube].var < nodes_[f].var)
+    cube = nodes_[cube].high;
+  if (cube == kTrue) return f;
+
+  TripleKey key{f, cube, universal ? Ref{1} : Ref{0}};
+  if (auto it = cache.find(key); it != cache.end()) return it->second;
+
+  // Copy: recursion below may grow the node arena and invalidate references.
+  const Node n = nodes_[f];
+  Ref result;
+  if (n.var == nodes_[cube].var) {
+    Ref lo = exists_rec(n.low, nodes_[cube].high, cache, universal);
+    Ref hi = exists_rec(n.high, nodes_[cube].high, cache, universal);
+    result = universal ? apply_and(lo, hi) : apply_or(lo, hi);
+  } else {
+    Ref lo = exists_rec(n.low, cube, cache, universal);
+    Ref hi = exists_rec(n.high, cube, cache, universal);
+    result = make_node(n.var, lo, hi);
+  }
+  cache.emplace(key, result);
+  return result;
+}
+
+Ref BddManager::and_exists(Ref f, Ref g, Ref cube) {
+  // The persistent cache is keyed on (f, g, inner cube); clearing it when the
+  // caller switches to a different top-level cube keeps it from growing
+  // without bound across unrelated image computations.
+  if (cube != and_exists_cube_marker_) {
+    and_exists_cache_.clear();
+    and_exists_cube_marker_ = cube;
+  }
+  return and_exists_rec(f, g, cube);
+}
+
+Ref BddManager::and_exists_rec(Ref f, Ref g, Ref cube) {
+  if (f == kFalse || g == kFalse) return kFalse;
+  if (cube == kTrue) return apply_and(f, g);
+  if (f == kTrue && g == kTrue) return kTrue;
+
+  TripleKey key{f, g, cube};
+  if (auto it = and_exists_cache_.find(key); it != and_exists_cache_.end())
+    return it->second;
+
+  Var top = std::min(nodes_[f].var, nodes_[g].var);
+  // Quantified variables above both supports contribute nothing.
+  while (!is_terminal(cube) && nodes_[cube].var < top)
+    cube = nodes_[cube].high;
+  if (cube == kTrue) {
+    Ref r = apply_and(f, g);
+    and_exists_cache_.emplace(key, r);
+    return r;
+  }
+
+  auto cof = [&](Ref x, bool hi) -> Ref {
+    if (nodes_[x].var != top) return x;
+    return hi ? nodes_[x].high : nodes_[x].low;
+  };
+
+  Ref result;
+  if (nodes_[cube].var == top) {
+    Ref lo = and_exists_rec(cof(f, false), cof(g, false), nodes_[cube].high);
+    if (lo == kTrue) {
+      result = kTrue;  // short-circuit: ∨ with anything is true
+    } else {
+      Ref hi = and_exists_rec(cof(f, true), cof(g, true), nodes_[cube].high);
+      result = apply_or(lo, hi);
+    }
+  } else {
+    Ref lo = and_exists_rec(cof(f, false), cof(g, false), cube);
+    Ref hi = and_exists_rec(cof(f, true), cof(g, true), cube);
+    result = make_node(top, lo, hi);
+  }
+  and_exists_cache_.emplace(key, result);
+  return result;
+}
+
+Ref BddManager::rename(Ref f, const std::vector<Var>& map) {
+  // Monotonicity check over the support keeps the recursion order-safe.
+  std::vector<Var> sup = support(f);
+  for (std::size_t i = 1; i < sup.size(); ++i) {
+    if (map[sup[i - 1]] >= map[sup[i]])
+      throw std::invalid_argument(
+          "BddManager::rename: map is not strictly monotone on support");
+  }
+  std::unordered_map<Ref, Ref> cache;
+  return rename_rec(f, map, cache);
+}
+
+Ref BddManager::rename_rec(Ref f, const std::vector<Var>& map,
+                           std::unordered_map<Ref, Ref>& cache) {
+  if (is_terminal(f)) return f;
+  if (auto it = cache.find(f); it != cache.end()) return it->second;
+  // Copy: recursion below may grow the node arena and invalidate references.
+  const Node n = nodes_[f];
+  Ref lo = rename_rec(n.low, map, cache);
+  Ref hi = rename_rec(n.high, map, cache);
+  Ref result = make_node(map[n.var], lo, hi);
+  cache.emplace(f, result);
+  return result;
+}
+
+Ref BddManager::restrict_var(Ref f, Var v, bool value) {
+  if (is_terminal(f) || nodes_[f].var > v) return f;
+  if (nodes_[f].var == v) return value ? nodes_[f].high : nodes_[f].low;
+  // f's top var is above v: rebuild.
+  std::unordered_map<Ref, Ref> cache;
+  std::function<Ref(Ref)> rec = [&](Ref x) -> Ref {
+    if (is_terminal(x) || nodes_[x].var > v) return x;
+    if (nodes_[x].var == v) return value ? nodes_[x].high : nodes_[x].low;
+    if (auto it = cache.find(x); it != cache.end()) return it->second;
+    Ref r = make_node(nodes_[x].var, rec(nodes_[x].low), rec(nodes_[x].high));
+    cache.emplace(x, r);
+    return r;
+  };
+  return rec(f);
+}
+
+double BddManager::sat_count(Ref f, const std::vector<Var>& counted_vars) {
+  std::vector<Var> sorted = counted_vars;
+  std::sort(sorted.begin(), sorted.end());
+  // position[v] = index of v in the counted list; num_vars_ sentinel if absent.
+  std::vector<std::uint32_t> position(num_vars_ + 1,
+                                      static_cast<std::uint32_t>(-1));
+  for (std::size_t i = 0; i < sorted.size(); ++i) position[sorted[i]] = i;
+  position[num_vars_] = static_cast<std::uint32_t>(sorted.size());
+
+  for (Var v : support(f))
+    if (position[v] == static_cast<std::uint32_t>(-1))
+      throw std::invalid_argument(
+          "sat_count: support not contained in counted variables");
+
+  std::unordered_map<Ref, double> cache;
+  std::function<double(Ref)> rec = [&](Ref x) -> double {
+    if (x == kFalse) return 0.0;
+    if (x == kTrue) return 1.0;
+    if (auto it = cache.find(x); it != cache.end()) return it->second;
+    const Node& n = nodes_[x];
+    auto weight = [&](Ref child) {
+      // Levels skipped between x and child double the count each.
+      std::uint32_t from = position[n.var] + 1;
+      std::uint32_t to = position[nodes_[child].var];
+      return rec(child) * std::pow(2.0, static_cast<double>(to - from));
+    };
+    double r = weight(n.low) + weight(n.high);
+    cache.emplace(x, r);
+    return r;
+  };
+  double top_skip = static_cast<double>(position[nodes_[f].var]);
+  return rec(f) * std::pow(2.0, top_skip);
+}
+
+util::Bitset BddManager::pick_one_sat(Ref f) {
+  if (f == kFalse)
+    throw std::invalid_argument("pick_one_sat: function is false");
+  util::Bitset assignment(num_vars_);
+  Ref cur = f;
+  while (!is_terminal(cur)) {
+    const Node& n = nodes_[cur];
+    if (n.low != kFalse) {
+      cur = n.low;
+    } else {
+      assignment.set(n.var);
+      cur = n.high;
+    }
+  }
+  return assignment;
+}
+
+bool BddManager::enumerate_sats(
+    Ref f, const std::vector<Var>& universe_vars, std::size_t max_count,
+    const std::function<void(const util::Bitset&)>& visit) {
+  std::vector<Var> sorted = universe_vars;
+  std::sort(sorted.begin(), sorted.end());
+  for (Var v : support(f))
+    if (!std::binary_search(sorted.begin(), sorted.end(), v))
+      throw std::invalid_argument(
+          "enumerate_sats: support not contained in universe");
+
+  std::size_t emitted = 0;
+  util::Bitset assignment(num_vars_);
+  // Depth-first over the universe variables, expanding don't-cares.
+  std::function<bool(Ref, std::size_t)> rec = [&](Ref x,
+                                                  std::size_t depth) -> bool {
+    if (x == kFalse) return true;
+    if (depth == sorted.size()) {
+      if (emitted++ >= max_count) return false;
+      visit(assignment);
+      return true;
+    }
+    Var v = sorted[depth];
+    Ref lo = x, hi = x;
+    if (!is_terminal(x) && nodes_[x].var == v) {
+      lo = nodes_[x].low;
+      hi = nodes_[x].high;
+    }
+    assignment.reset(v);
+    if (!rec(lo, depth + 1)) return false;
+    assignment.set(v);
+    if (!rec(hi, depth + 1)) return false;
+    assignment.reset(v);
+    return true;
+  };
+  return rec(f, 0);
+}
+
+std::vector<Var> BddManager::support(Ref f) const {
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<bool> in_support(num_vars_, false);
+  std::vector<Ref> stack{f};
+  while (!stack.empty()) {
+    Ref x = stack.back();
+    stack.pop_back();
+    if (is_terminal(x) || seen[x]) continue;
+    seen[x] = true;
+    in_support[nodes_[x].var] = true;
+    stack.push_back(nodes_[x].low);
+    stack.push_back(nodes_[x].high);
+  }
+  std::vector<Var> out;
+  for (Var v = 0; v < num_vars_; ++v)
+    if (in_support[v]) out.push_back(v);
+  return out;
+}
+
+std::size_t BddManager::node_count(Ref f) const {
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<Ref> stack{f};
+  std::size_t count = 0;
+  bool saw_false = false, saw_true = false;
+  while (!stack.empty()) {
+    Ref x = stack.back();
+    stack.pop_back();
+    if (x == kFalse) {
+      saw_false = true;
+      continue;
+    }
+    if (x == kTrue) {
+      saw_true = true;
+      continue;
+    }
+    if (seen[x]) continue;
+    seen[x] = true;
+    ++count;
+    stack.push_back(nodes_[x].low);
+    stack.push_back(nodes_[x].high);
+  }
+  return count + (saw_false ? 1 : 0) + (saw_true ? 1 : 0);
+}
+
+}  // namespace gpo::bdd

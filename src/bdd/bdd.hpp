@@ -1,0 +1,178 @@
+// A from-scratch reduced ordered binary decision diagram (ROBDD) package
+// [Bryant 1986], built as the substrate for the symbolic-model-checking
+// baseline (the paper compares against SMV) and as the second representation
+// of GPN set families (src/core/set_family.hpp).
+//
+// Design notes:
+//  * Nodes live in one arena and are hash-consed through a unique table, so
+//    two equivalent functions always have the same Ref — equality is O(1).
+//  * No complement edges: negation is a cached O(|f|) traversal. This keeps
+//    the invariants simple; the verification workloads here are bounded by
+//    variable ordering, not by the constant factor complement edges buy.
+//  * No garbage collection: nodes are never freed, and total_nodes() is by
+//    construction the peak live size — exactly the "Peak BDD-size" statistic
+//    Table 1 reports for SMV. A configurable node limit turns pathological
+//    orderings into a clean BddLimitExceeded instead of memory exhaustion.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bitset.hpp"
+#include "util/hash.hpp"
+
+namespace gpo::bdd {
+
+using Var = std::uint32_t;
+/// Index of a node in the manager arena. Refs are stable for the lifetime of
+/// the manager and canonical: equal Refs <=> equal Boolean functions.
+using Ref = std::uint32_t;
+
+inline constexpr Ref kFalse = 0;
+inline constexpr Ref kTrue = 1;
+
+/// Thrown when an operation would grow the arena past the node limit.
+class BddLimitExceeded : public std::runtime_error {
+ public:
+  explicit BddLimitExceeded(std::size_t limit)
+      : std::runtime_error("BDD node limit exceeded (" +
+                           std::to_string(limit) + " nodes)") {}
+};
+
+class BddManager {
+ public:
+  /// `num_vars` fixes the variable universe 0..num_vars-1 (variable index ==
+  /// level: smaller index is closer to the root). `node_limit` bounds the
+  /// arena size.
+  explicit BddManager(Var num_vars, std::size_t node_limit = std::size_t{1}
+                                                             << 23);
+
+  [[nodiscard]] Var num_vars() const { return num_vars_; }
+
+  /// The function "variable v".
+  [[nodiscard]] Ref var(Var v);
+  /// The function "not variable v".
+  [[nodiscard]] Ref nvar(Var v);
+
+  [[nodiscard]] Ref ite(Ref f, Ref g, Ref h);
+  [[nodiscard]] Ref apply_not(Ref f) { return ite(f, kFalse, kTrue); }
+  [[nodiscard]] Ref apply_and(Ref f, Ref g) { return ite(f, g, kFalse); }
+  [[nodiscard]] Ref apply_or(Ref f, Ref g) { return ite(f, kTrue, g); }
+  [[nodiscard]] Ref apply_xor(Ref f, Ref g) {
+    return ite(f, apply_not(g), g);
+  }
+  /// f ∧ ¬g — set difference when functions encode families of sets.
+  [[nodiscard]] Ref apply_diff(Ref f, Ref g) {
+    return ite(g, kFalse, f);
+  }
+  [[nodiscard]] Ref apply_imp(Ref f, Ref g) { return ite(f, g, kTrue); }
+  [[nodiscard]] Ref apply_iff(Ref f, Ref g) { return ite(f, g, apply_not(g)); }
+
+  /// Conjunction of the listed (positive) variables; the canonical cube
+  /// representation used by the quantifiers below.
+  [[nodiscard]] Ref cube(const std::vector<Var>& vars);
+
+  /// ∃ vars(cube) . f
+  [[nodiscard]] Ref exists(Ref f, Ref cube);
+  /// ∀ vars(cube) . f
+  [[nodiscard]] Ref forall(Ref f, Ref cube);
+  /// ∃ vars(cube) . (f ∧ g) — the relational-product workhorse of image
+  /// computation, without building f ∧ g in full.
+  [[nodiscard]] Ref and_exists(Ref f, Ref g, Ref cube);
+
+  /// Renames variables: node with var v becomes var map[v]. The map must be
+  /// strictly monotone on the support of f (checked), which keeps the result
+  /// ordered without re-normalization.
+  [[nodiscard]] Ref rename(Ref f, const std::vector<Var>& map);
+
+  /// Cofactor: f with variable v fixed to `value`.
+  [[nodiscard]] Ref restrict_var(Ref f, Var v, bool value);
+
+  /// Number of assignments to `counted_vars` satisfying f. Requires
+  /// support(f) ⊆ counted_vars (checked). Exact while the count fits a
+  /// double's 53-bit mantissa; beyond that it is a faithful rounding.
+  [[nodiscard]] double sat_count(Ref f, const std::vector<Var>& counted_vars);
+
+  /// One satisfying assignment as a bitset over all variables (don't-care
+  /// variables are reported as 0). Precondition: f != kFalse.
+  [[nodiscard]] util::Bitset pick_one_sat(Ref f);
+
+  /// Enumerates satisfying assignments over `universe_vars` (don't-cares
+  /// expanded), invoking `visit` for each; stops early after `max_count`.
+  /// Returns false if truncated. Requires support(f) ⊆ universe_vars.
+  bool enumerate_sats(Ref f, const std::vector<Var>& universe_vars,
+                      std::size_t max_count,
+                      const std::function<void(const util::Bitset&)>& visit);
+
+  /// Variables f depends on.
+  [[nodiscard]] std::vector<Var> support(Ref f) const;
+
+  /// Number of distinct nodes in f (including terminals).
+  [[nodiscard]] std::size_t node_count(Ref f) const;
+
+  /// Arena size == peak live nodes (no GC), the Table-1 "peak BDD" metric.
+  [[nodiscard]] std::size_t total_nodes() const { return nodes_.size(); }
+
+  [[nodiscard]] Var var_of(Ref f) const { return nodes_[f].var; }
+  [[nodiscard]] Ref low_of(Ref f) const { return nodes_[f].low; }
+  [[nodiscard]] Ref high_of(Ref f) const { return nodes_[f].high; }
+  [[nodiscard]] bool is_terminal(Ref f) const { return f <= kTrue; }
+
+ private:
+  struct Node {
+    Var var;  // == num_vars_ for terminals (below every real level)
+    Ref low;
+    Ref high;
+  };
+
+  struct NodeKey {
+    Var var;
+    Ref low;
+    Ref high;
+    bool operator==(const NodeKey&) const = default;
+  };
+  struct NodeKeyHash {
+    std::size_t operator()(const NodeKey& k) const {
+      return static_cast<std::size_t>(util::mix64(
+          (std::uint64_t{k.var} << 40) ^ (std::uint64_t{k.low} << 20) ^
+          k.high));
+    }
+  };
+
+  struct TripleKey {
+    Ref a, b, c;
+    bool operator==(const TripleKey&) const = default;
+  };
+  struct TripleKeyHash {
+    std::size_t operator()(const TripleKey& k) const {
+      return static_cast<std::size_t>(util::mix64(
+          (std::uint64_t{k.a} << 42) ^ (std::uint64_t{k.b} << 21) ^ k.c));
+    }
+  };
+
+  Ref make_node(Var var, Ref low, Ref high);
+
+  Ref ite_rec(Ref f, Ref g, Ref h);
+  Ref exists_rec(Ref f, Ref cube,
+                 std::unordered_map<TripleKey, Ref, TripleKeyHash>& cache,
+                 bool universal);
+  Ref and_exists_rec(Ref f, Ref g, Ref cube);
+  Ref rename_rec(Ref f, const std::vector<Var>& map,
+                 std::unordered_map<Ref, Ref>& cache);
+
+  Var num_vars_;
+  std::size_t node_limit_;
+  std::vector<Node> nodes_;
+  std::unordered_map<NodeKey, Ref, NodeKeyHash> unique_;
+  std::unordered_map<TripleKey, Ref, TripleKeyHash> ite_cache_;
+  std::unordered_map<TripleKey, Ref, TripleKeyHash> and_exists_cache_;
+  /// and_exists keys its cache on (f, g, cube); the marker lets us clear the
+  /// cache when callers switch cubes so it cannot grow without bound.
+  Ref and_exists_cube_marker_ = kFalse;
+};
+
+}  // namespace gpo::bdd

@@ -1,0 +1,380 @@
+// julie — command-line front-end to the verification engines, named after the
+// prototype tool of the paper. Loads a net from a .net/.pnml file or one of
+// the built-in parameterized models and runs the selected analyses.
+//
+//   julie --model nsdp:8 --engine gpo
+//   julie --engine full --dot rg.dot examples/nets/fig7.net
+//   julie --model rw:12 --engine all
+//   julie --model asat:4 --safety crit_4,crit_5
+//   julie --model nsdp:4 --structure --liveness
+//   julie --model over:3 --write-pnml over3.pnml
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bdd/symbolic_reach.hpp"
+#include "core/gpo.hpp"
+#include "mc/ctl.hpp"
+#include "models/models.hpp"
+#include "parser/net_format.hpp"
+#include "parser/pnml.hpp"
+#include "petri/dot.hpp"
+#include "petri/structure.hpp"
+#include "por/stubborn.hpp"
+#include "reach/explorer.hpp"
+#include "safety/safety.hpp"
+#include "unfold/unfolding.hpp"
+
+namespace {
+
+using gpo::petri::PetriNet;
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options] [net-file(.net|.pnml)]\n"
+      << "  --model NAME:N     built-in model instead of a net file; NAME in\n"
+      << "                     {nsdp, asat, over, rw, diamond, chain,\n"
+      << "                      fig3, fig5, fig7}\n"
+      << "  --engine E         full | por | bdd | gpo | gpo-bdd | unfold |\n"
+      << "                     all\n"
+      << "                     (default: gpo)\n"
+      << "  --safety P1,P2,..  check 'P1..Pk never simultaneously marked'\n"
+      << "                     via the deadlock reduction (uses --engine)\n"
+      << "  --liveness         report transitions that can never fire\n"
+      << "  --structure        siphon/trap and invariant analysis\n"
+      << "  --max-states N     state cap for explicit engines\n"
+      << "  --max-seconds S    wall-clock cap per engine\n"
+      << "  --dot FILE         write the net structure as Graphviz DOT\n"
+      << "  --write-net FILE   serialize the net in .net format\n"
+      << "  --write-pnml FILE  serialize the net as PNML\n"
+      << "  --quiet            one summary line per engine only\n";
+  return 2;
+}
+
+std::optional<PetriNet> make_model(const std::string& spec) {
+  auto colon = spec.find(':');
+  std::string name = spec.substr(0, colon);
+  std::size_t n = 0;
+  if (colon != std::string::npos) n = std::stoul(spec.substr(colon + 1));
+  using namespace gpo::models;
+  if (name == "nsdp") return make_nsdp(n);
+  if (name == "asat") return make_arbiter_tree(n);
+  if (name == "over") return make_overtake(n);
+  if (name == "rw") return make_readers_writers(n);
+  if (name == "diamond") return make_diamond(n);
+  if (name == "chain") return make_conflict_chain(n);
+  if (name == "fig3") return make_fig3();
+  if (name == "fig5") return make_fig5();
+  if (name == "fig7") return make_fig7();
+  return std::nullopt;
+}
+
+struct Row {
+  std::string engine;
+  double states = -1;  // -1: not applicable
+  std::size_t peak_bdd = 0;
+  bool deadlock = false;
+  bool aborted = false;
+  double seconds = 0;
+};
+
+void print_row(const Row& r) {
+  std::cout << "  " << r.engine << ": ";
+  if (r.aborted) {
+    std::cout << "ABORTED (limit hit)";
+  } else {
+    if (r.states >= 0) std::cout << "states=" << r.states << " ";
+    if (r.peak_bdd > 0) std::cout << "peak-bdd=" << r.peak_bdd << " ";
+    std::cout << (r.deadlock ? "DEADLOCK" : "no deadlock");
+  }
+  std::cout << "  (" << r.seconds << "s)\n";
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+void run_structure(const PetriNet& net) {
+  using namespace gpo::petri;
+  std::cout << "structural analysis:\n"
+            << "  free choice: " << (is_free_choice(net) ? "yes" : "no")
+            << "\n";
+  auto stp = siphon_trap_property(net);
+  std::cout << "  siphon-trap property: " << (stp.holds ? "holds" : "FAILS")
+            << (stp.exhaustive ? "" : " (non-exhaustive)") << "\n";
+  if (stp.counterexample_siphon) {
+    std::cout << "    unprotected siphon: {";
+    bool first = true;
+    for (std::size_t p = stp.counterexample_siphon->find_first();
+         p < stp.counterexample_siphon->size();
+         p = stp.counterexample_siphon->find_next(p + 1)) {
+      if (!first) std::cout << ",";
+      std::cout << net.place(static_cast<PlaceId>(p)).name;
+      first = false;
+    }
+    std::cout << "}\n";
+  }
+  bool complete = true;
+  auto flows = place_semiflows(net, 1024, &complete);
+  auto certified = safeness_certified_places(net, flows);
+  std::cout << "  place semiflows: " << flows.size()
+            << (complete ? "" : "+ (capped)") << "\n"
+            << "  1-safeness certified structurally for " << certified.count()
+            << "/" << net.place_count() << " places\n";
+}
+
+void run_liveness(const PetriNet& net, std::size_t max_states,
+                  double max_seconds) {
+  gpo::reach::ExplorerOptions opt;
+  opt.max_states = max_states;
+  opt.max_seconds = max_seconds;
+  auto r = gpo::reach::ExplicitExplorer(net, opt).explore();
+  if (r.limit_hit) {
+    std::cout << "liveness: exploration hit its limit; results partial\n";
+  }
+  std::size_t dead = net.transition_count() - r.fireable_transitions.count();
+  std::cout << "liveness: " << r.fireable_transitions.count() << "/"
+            << net.transition_count() << " transitions fireable";
+  if (dead > 0 && !r.limit_hit) {
+    std::cout << "; dead:";
+    for (gpo::petri::TransitionId t = 0; t < net.transition_count(); ++t)
+      if (!r.fireable_transitions.test(t))
+        std::cout << " " << net.transition(t).name;
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string engine = "gpo";
+  std::string model_spec;
+  std::string net_file;
+  std::string dot_file, write_net_file, write_pnml_file;
+  std::string safety_spec;
+  std::string ctl_spec;
+  bool want_liveness = false, want_structure = false;
+  std::size_t max_states = SIZE_MAX;
+  double max_seconds = 300.0;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs an argument\n";
+        exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--model") {
+      model_spec = next();
+    } else if (arg == "--engine") {
+      engine = next();
+    } else if (arg == "--safety") {
+      safety_spec = next();
+    } else if (arg == "--ctl") {
+      ctl_spec = next();
+    } else if (arg == "--liveness") {
+      want_liveness = true;
+    } else if (arg == "--structure") {
+      want_structure = true;
+    } else if (arg == "--max-states") {
+      max_states = std::stoul(next());
+    } else if (arg == "--max-seconds") {
+      max_seconds = std::stod(next());
+    } else if (arg == "--dot") {
+      dot_file = next();
+    } else if (arg == "--write-net") {
+      write_net_file = next();
+    } else if (arg == "--write-pnml") {
+      write_pnml_file = next();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option " << arg << "\n";
+      return usage(argv[0]);
+    } else {
+      net_file = arg;
+    }
+  }
+
+  std::optional<PetriNet> net;
+  try {
+    if (!model_spec.empty()) {
+      net = make_model(model_spec);
+      if (!net) {
+        std::cerr << "unknown model '" << model_spec << "'\n";
+        return 2;
+      }
+    } else if (!net_file.empty()) {
+      bool is_pnml = net_file.size() >= 5 &&
+                     net_file.substr(net_file.size() - 5) == ".pnml";
+      net = is_pnml ? gpo::parser::parse_pnml_file(net_file)
+                    : gpo::parser::parse_net_file(net_file);
+    } else {
+      return usage(argv[0]);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error loading net: " << e.what() << "\n";
+    return 1;
+  }
+
+  if (!quiet)
+    std::cout << "net '" << net->name() << "': " << net->place_count()
+              << " places, " << net->transition_count() << " transitions\n";
+
+  auto write_file = [&](const std::string& path, auto writer) {
+    if (path.empty()) return true;
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write " << path << "\n";
+      return false;
+    }
+    writer(out);
+    if (!quiet) std::cout << "wrote " << path << "\n";
+    return true;
+  };
+  if (!write_file(dot_file,
+                  [&](std::ostream& o) { gpo::petri::write_net_dot(o, *net); }))
+    return 1;
+  if (!write_file(write_net_file,
+                  [&](std::ostream& o) { gpo::parser::write_net(o, *net); }))
+    return 1;
+  if (!write_file(write_pnml_file,
+                  [&](std::ostream& o) { gpo::parser::write_pnml(o, *net); }))
+    return 1;
+
+  if (want_structure) run_structure(*net);
+  if (want_liveness) run_liveness(*net, max_states, max_seconds);
+
+  if (!ctl_spec.empty()) {
+    try {
+      gpo::mc::CtlOptions opt;
+      opt.max_states = max_states == SIZE_MAX ? 5'000'000 : max_states;
+      auto r = gpo::mc::check_ctl(*net, ctl_spec, opt);
+      std::cout << "CTL '" << ctl_spec << "': "
+                << (r.holds ? "holds" : "FAILS") << " ("
+                << r.satisfying_states << "/" << r.state_count
+                << " states satisfy it"
+                << (r.limit_hit ? ", state limit hit" : "") << ")\n";
+      if (!r.holds && !r.counterexample.empty()) {
+        std::cout << "  counterexample:";
+        for (auto t : r.counterexample)
+          std::cout << " " << net->transition(t).name;
+        std::cout << "\n";
+      }
+      return r.holds ? 0 : 10;
+    } catch (const std::exception& e) {
+      std::cerr << "CTL error: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  if (!safety_spec.empty()) {
+    gpo::safety::SafetyProperty prop;
+    for (const std::string& name : split_csv(safety_spec)) {
+      auto p = net->find_place(name);
+      if (p == gpo::petri::kInvalidPlace) {
+        std::cerr << "unknown place '" << name << "' in --safety\n";
+        return 2;
+      }
+      prop.never_all_marked.push_back(p);
+    }
+    gpo::safety::SafetyOptions opt;
+    opt.max_states = max_states;
+    opt.max_seconds = max_seconds;
+    opt.engine = engine == "full"  ? gpo::safety::Engine::kExplicit
+                 : engine == "por" ? gpo::safety::Engine::kStubborn
+                 : engine == "bdd" ? gpo::safety::Engine::kSymbolic
+                 : engine == "gpo" ? gpo::safety::Engine::kGpo
+                                   : gpo::safety::Engine::kGpoBdd;
+    auto r = gpo::safety::check_safety(*net, prop, opt);
+    std::cout << "safety '" << safety_spec << "': "
+              << (r.violated ? "VIOLATED" : (r.limit_hit ? "UNDECIDED (limit)"
+                                                         : "holds"))
+              << " (" << r.states_explored << " states, " << r.seconds
+              << "s)\n";
+    if (r.witness)
+      std::cout << "  witness: "
+                << gpo::reach::marking_to_string(*net, *r.witness) << "\n";
+    return r.violated ? 10 : 0;
+  }
+
+  bool any_deadlock = false;
+  auto run_one = [&](const std::string& e) {
+    Row row;
+    row.engine = e;
+    try {
+      if (e == "full") {
+        gpo::reach::ExplorerOptions opt;
+        opt.max_states = max_states;
+        opt.max_seconds = max_seconds;
+        auto r = gpo::reach::ExplicitExplorer(*net, opt).explore();
+        row = {e, static_cast<double>(r.state_count), 0, r.deadlock_found,
+               r.limit_hit, r.seconds};
+        if (r.safeness_violation)
+          std::cout << "  WARNING: net is not 1-safe\n";
+      } else if (e == "por") {
+        gpo::por::StubbornOptions opt;
+        opt.max_states = max_states;
+        opt.max_seconds = max_seconds;
+        auto r = gpo::por::StubbornExplorer(*net, opt).explore();
+        row = {e, static_cast<double>(r.state_count), 0, r.deadlock_found,
+               r.limit_hit, r.seconds};
+      } else if (e == "bdd") {
+        gpo::bdd::SymbolicOptions opt;
+        opt.max_seconds = max_seconds;
+        auto r = gpo::bdd::SymbolicReachability(*net, opt).analyze();
+        row = {e, r.state_count, r.peak_nodes, r.deadlock_found, r.blowup,
+               r.seconds};
+      } else if (e == "unfold") {
+        gpo::unfold::UnfoldOptions opt;
+        auto p = gpo::unfold::unfold(*net, opt);
+        std::cout << "  unfold: events=" << p.events.size()
+                  << " conditions=" << p.conditions.size()
+                  << " cutoffs=" << p.cutoff_count
+                  << (p.limit_hit ? " (limit hit)" : "") << "\n";
+        return;
+      } else if (e == "gpo" || e == "gpo-bdd") {
+        gpo::core::GpoOptions opt;
+        opt.max_states = max_states;
+        opt.max_seconds = max_seconds;
+        auto kind = e == "gpo" ? gpo::core::FamilyKind::kExplicit
+                               : gpo::core::FamilyKind::kBdd;
+        auto r = gpo::core::run_gpo(*net, kind, opt);
+        row = {e, static_cast<double>(r.state_count), 0, r.deadlock_found,
+               r.limit_hit, r.seconds};
+      } else {
+        std::cerr << "unknown engine '" << e << "'\n";
+        exit(2);
+      }
+    } catch (const std::exception& ex) {
+      std::cout << "  " << e << ": failed: " << ex.what() << "\n";
+      return;
+    }
+    any_deadlock |= row.deadlock && !row.aborted;
+    print_row(row);
+  };
+
+  if (engine == "all") {
+    for (const char* e : {"full", "por", "bdd", "gpo", "gpo-bdd", "unfold"})
+      run_one(e);
+  } else {
+    run_one(engine);
+  }
+  return any_deadlock ? 10 : 0;
+}

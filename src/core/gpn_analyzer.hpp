@@ -1,0 +1,663 @@
+// Generalized partial-order analysis (Section 3 of the paper).
+//
+// A Generalized Petri Net shares the structure of the underlying safe net but
+// marks places with *families of transition sets* and carries the family r of
+// valid transition sets. Each valid set v in r is one complete resolution of
+// every structural conflict (a "scenario"); the GPN state <m, r> represents
+// the set of classical markings  mapping(<m,r>) = { {p | v in m(p)} : v in r }
+// simultaneously. Conflicting transitions can then fire *at the same time*
+// (multiple firing semantics), each moving only the scenarios that chose it,
+// which collapses the exponential branching over concurrently marked conflict
+// places into a single successor state.
+//
+// The analyzer below implements the paper's Section 3.3 procedure:
+//   1. deadlock check:  U_t s_enabled(t,s) != r  <=>  some scenario's
+//      classical marking enables nothing;
+//   2. candidate maximal conflicting sets — connected components of the
+//      conflict graph restricted to the enabled transitions, all of whose
+//      members are multiple-enabled and whose trial firing does not disable
+//      any other candidate or any single-enabled transition outside it;
+//      all candidates fire simultaneously (multiple-execute);
+//   3. otherwise a fully single-enabled *static* maximal conflicting set, if
+//      one exists, is expanded transition-by-transition (the classical
+//      partial-order reduction), else every single-enabled transition is.
+//
+// The template parameter selects the family representation (ExplicitFamily
+// or BddFamily from set_family.hpp); see DESIGN.md decision 2.
+#pragma once
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/gpo_result.hpp"
+#include "core/set_family.hpp"
+#include "petri/conflict.hpp"
+#include "petri/net.hpp"
+#include "por/stubborn.hpp"
+#include "reach/explorer.hpp"
+#include "util/hash.hpp"
+#include "util/stopwatch.hpp"
+
+namespace gpo::core {
+
+/// A GPN state <m, r>: one family per place plus the valid-set family.
+template <typename Family>
+struct GpnState {
+  std::vector<Family> marking;
+  Family r;
+
+  bool operator==(const GpnState& o) const {
+    return r == o.r && marking == o.marking;
+  }
+  [[nodiscard]] std::size_t hash() const {
+    std::size_t h = r.hash();
+    for (const Family& f : marking) util::hash_combine(h, f.hash());
+    return h;
+  }
+};
+
+template <typename Family>
+class GpnAnalyzer {
+ public:
+  using Context = typename Family::Context;
+  using State = GpnState<Family>;
+
+  GpnAnalyzer(const petri::PetriNet& net, Context& ctx, GpoOptions options = {})
+      : net_(net), ctx_(ctx), conflicts_(net), options_(options) {}
+
+  // -- GPN semantics (exposed for unit tests and the examples) -------------
+
+  /// <m0G, r0>: every initially marked place holds r0, the family of maximal
+  /// conflict-free transition sets.
+  [[nodiscard]] State initial_state() const {
+    Family r0 = ctx_.initial_valid_sets(conflicts_);
+    State s{std::vector<Family>(net_.place_count(), ctx_.empty()), r0};
+    for (std::size_t p = net_.initial_marking().find_first();
+         p < net_.place_count(); p = net_.initial_marking().find_next(p + 1))
+      s.marking[p] = r0;
+    return s;
+  }
+
+  /// Definition 3.2: s_enabled(t, <m,r>) = ( ⋂_{p in •t} m(p) ) ∩ r.
+  [[nodiscard]] Family s_enabled(petri::TransitionId t, const State& s) const {
+    Family acc = s.r;
+    for (petri::PlaceId p : net_.transition(t).pre) {
+      acc = acc.intersect(s.marking[p]);
+      if (acc.is_empty()) break;
+    }
+    return acc;
+  }
+
+  /// Definition 3.5: m_enabled(t, s) = { v in ⋂_{p in •t} m(p) | t in v }.
+  /// (m(p) ⊆ r is a state invariant, so the ∩r is implicit.)
+  [[nodiscard]] Family m_enabled(petri::TransitionId t, const State& s) const {
+    return s_enabled(t, s).containing(t);
+  }
+
+  /// Definition 3.3 (single firing rule): moves the common histories of t's
+  /// input places to its output places; r is unchanged.
+  [[nodiscard]] State s_update(const State& s, petri::TransitionId t) const {
+    Family moved = s_enabled(t, s);
+    State next = s;
+    const auto& tr = net_.transition(t);
+    for (petri::PlaceId p : tr.pre)
+      if (!tr.post_bits.test(p))
+        next.marking[p] = next.marking[p].subtract(moved);
+    for (petri::PlaceId p : tr.post)
+      if (!tr.pre_bits.test(p))
+        next.marking[p] = next.marking[p].unite(moved);
+    return next;
+  }
+
+  /// Definition 3.6 (multiple firing rule): fires every transition of T'
+  /// simultaneously; scenarios that chose t move through t, the rest stay.
+  /// The new valid-set family r' drops scenarios that enable nothing —
+  /// including the "extended conflicts" the paper illustrates in Fig. 7.
+  [[nodiscard]] State m_update(const State& s,
+                               const std::vector<petri::TransitionId>& fired)
+      const {
+    const std::size_t nt = net_.transition_count();
+    util::Bitset in_fired(nt);
+    for (petri::TransitionId t : fired) in_fired.set(t);
+
+    std::unordered_map<petri::TransitionId, Family> me;
+    me.reserve(fired.size());
+    for (petri::TransitionId t : fired) me.emplace(t, m_enabled(t, s));
+
+    // r' = U_{t not in T'} s_enabled(t,s)  ∪  U_{t in T'} m_enabled(t,s)
+    Family r_next = ctx_.empty();
+    for (petri::TransitionId t = 0; t < nt; ++t)
+      r_next = r_next.unite(in_fired.test(t) ? me.at(t) : s_enabled(t, s));
+
+    State next{std::vector<Family>(), r_next};
+    next.marking.reserve(net_.place_count());
+    for (petri::PlaceId p = 0; p < net_.place_count(); ++p) {
+      Family removed = ctx_.empty();
+      Family added = ctx_.empty();
+      bool consumed = false, produced = false;
+      for (petri::TransitionId t : net_.place(p).post) {  // consumers of p
+        if (in_fired.test(t)) {
+          removed = removed.unite(me.at(t));
+          consumed = true;
+        }
+      }
+      for (petri::TransitionId t : net_.place(p).pre) {  // producers of p
+        if (in_fired.test(t)) {
+          added = added.unite(me.at(t));
+          produced = true;
+        }
+      }
+      Family m = s.marking[p];
+      if (consumed) m = m.subtract(removed);
+      if (produced) m = m.unite(added);
+      next.marking.push_back(m.intersect(r_next));
+    }
+    return next;
+  }
+
+  /// mapping(<m,r>) (Definition 3.4): the classical markings represented by
+  /// this GPN state, one per valid set (duplicates collapsed); capped.
+  [[nodiscard]] std::vector<petri::Marking> mapping(const State& s,
+                                                    std::size_t max = 4096)
+      const {
+    std::vector<petri::Marking> out;
+    for (const TransitionSet& v : s.r.members(max)) {
+      petri::Marking m(net_.place_count());
+      for (petri::PlaceId p = 0; p < net_.place_count(); ++p)
+        if (s.marking[p].contains(v)) m.set(p);
+      if (std::find(out.begin(), out.end(), m) == out.end())
+        out.push_back(std::move(m));
+    }
+    return out;
+  }
+
+  /// The paper's deadlock characterization: U_t s_enabled(t,s) != r. When a
+  /// deadlock is possible, returns one dead scenario's classical marking.
+  /// With `required_place`, only dead scenarios whose marking marks that
+  /// place qualify (scenario v marks p iff v ∈ m(p), so the filter is one
+  /// family intersection).
+  [[nodiscard]] std::optional<TransitionSet> deadlock_scenario(
+      const State& s,
+      std::optional<petri::PlaceId> required_place = std::nullopt) const {
+    Family enabled_union = ctx_.empty();
+    for (petri::TransitionId t = 0; t < net_.transition_count(); ++t)
+      enabled_union = enabled_union.unite(s_enabled(t, s));
+    Family missing = s.r.subtract(enabled_union);
+    if (required_place) missing = missing.intersect(s.marking[*required_place]);
+    if (missing.is_empty()) return std::nullopt;
+    return missing.members(1).front();
+  }
+
+  /// The classical marking of scenario v in state s: {p | v in m(p)}.
+  [[nodiscard]] petri::Marking scenario_marking(const State& s,
+                                                const TransitionSet& v) const {
+    petri::Marking m(net_.place_count());
+    for (petri::PlaceId p = 0; p < net_.place_count(); ++p)
+      if (s.marking[p].contains(v)) m.set(p);
+    return m;
+  }
+
+  [[nodiscard]] std::optional<petri::Marking> deadlock_witness(
+      const State& s,
+      std::optional<petri::PlaceId> required_place = std::nullopt) const {
+    if (auto v = deadlock_scenario(s, required_place))
+      return scenario_marking(s, *v);
+    return std::nullopt;
+  }
+
+  // -- The analysis procedure ----------------------------------------------
+
+  /// Per-state expansion decision (exposed for tests and diagnostics).
+  struct Expansion {
+    bool multiple = false;
+    /// multiple: the union of all candidate MCSs, fired simultaneously.
+    /// single: the transitions fired one-per-branch.
+    std::vector<petri::TransitionId> transitions;
+  };
+
+  [[nodiscard]] Expansion plan_expansion(
+      const State& s,
+      const std::vector<petri::TransitionId>& single_enabled) const;
+
+  [[nodiscard]] std::vector<petri::TransitionId> single_enabled_transitions(
+      const State& s) const {
+    std::vector<petri::TransitionId> out;
+    for (petri::TransitionId t = 0; t < net_.transition_count(); ++t)
+      if (!s_enabled(t, s).is_empty()) out.push_back(t);
+    return out;
+  }
+
+  [[nodiscard]] GpoResult explore() const;
+
+ private:
+  struct StateHash {
+    std::size_t operator()(const State& s) const { return s.hash(); }
+  };
+
+  const petri::PetriNet& net_;
+  Context& ctx_;
+  petri::ConflictInfo conflicts_;
+  GpoOptions options_;
+};
+
+// ---------------------------------------------------------------------------
+// implementation
+// ---------------------------------------------------------------------------
+
+template <typename Family>
+auto GpnAnalyzer<Family>::plan_expansion(
+    const State& s,
+    const std::vector<petri::TransitionId>& single_enabled) const
+    -> Expansion {
+  const std::size_t nt = net_.transition_count();
+  util::Bitset enabled_bits(nt);
+  for (petri::TransitionId t : single_enabled) enabled_bits.set(t);
+
+  // Dynamic maximal conflicting sets: connected components of the conflict
+  // graph restricted to the *multiple-enabled* transitions. A transition
+  // that is single- but not multiple-enabled (every common history committed
+  // its tokens to a competitor) is postponed — its scenarios keep their
+  // tokens in place, so nothing is lost by leaving it out.
+  util::Bitset m_bits(nt);
+  for (petri::TransitionId t : single_enabled)
+    if (!m_enabled(t, s).is_empty()) m_bits.set(t);
+  std::vector<std::vector<petri::TransitionId>> dyn_components;
+  {
+    util::Bitset seen(nt);
+    for (std::size_t ts = m_bits.find_first(); ts < nt;
+         ts = m_bits.find_next(ts + 1)) {
+      petri::TransitionId t = static_cast<petri::TransitionId>(ts);
+      if (seen.test(t)) continue;
+      std::vector<petri::TransitionId> comp, stack{t};
+      seen.set(t);
+      while (!stack.empty()) {
+        petri::TransitionId u = stack.back();
+        stack.pop_back();
+        comp.push_back(u);
+        util::Bitset nb = conflicts_.neighbors(u) & m_bits;
+        for (std::size_t w = nb.find_first(); w < nt; w = nb.find_next(w + 1))
+          if (!seen.test(w)) {
+            seen.set(w);
+            stack.push_back(static_cast<petri::TransitionId>(w));
+          }
+      }
+      std::sort(comp.begin(), comp.end());
+      dyn_components.push_back(std::move(comp));
+    }
+  }
+
+  // Candidate check (Section 3.3): trial-fire the component alone; every
+  // *other* multiple-enabled component must stay multiple-enabled and every
+  // single-enabled transition outside it must stay single-enabled.
+  std::vector<std::size_t> candidates;
+  for (std::size_t c = 0; c < dyn_components.size(); ++c) {
+    State trial = m_update(s, dyn_components[c]);
+    util::Bitset in_c(nt);
+    for (petri::TransitionId t : dyn_components[c]) in_c.set(t);
+    bool ok = true;
+    for (std::size_t d = 0; d < dyn_components.size() && ok; ++d) {
+      if (d == c) continue;
+      for (petri::TransitionId t : dyn_components[d])
+        if (m_enabled(t, trial).is_empty()) {
+          ok = false;
+          break;
+        }
+    }
+    if (ok) {
+      for (petri::TransitionId t : single_enabled)
+        if (!in_c.test(t) && s_enabled(t, trial).is_empty()) {
+          ok = false;
+          break;
+        }
+    }
+    if (ok) candidates.push_back(c);
+  }
+
+  Expansion plan;
+  if (!candidates.empty()) {
+    plan.multiple = true;
+    for (std::size_t c : candidates)
+      plan.transitions.insert(plan.transitions.end(),
+                              dyn_components[c].begin(),
+                              dyn_components[c].end());
+    std::sort(plan.transitions.begin(), plan.transitions.end());
+    return plan;
+  }
+
+  // Fallback 1: a *static* maximal conflicting set whose members are all
+  // single-enabled — safe to expand alone (classical partial-order
+  // reduction), because nothing outside it can ever steal its tokens.
+  // Prefer the smallest such component (fewest branches).
+  const std::vector<petri::TransitionId>* best = nullptr;
+  for (const auto& comp : conflicts_.components()) {
+    bool all = !comp.empty();
+    for (petri::TransitionId t : comp)
+      if (!enabled_bits.test(t)) {
+        all = false;
+        break;
+      }
+    if (all && (best == nullptr || comp.size() < best->size())) best = &comp;
+  }
+  plan.multiple = false;
+  plan.transitions = best != nullptr ? *best : single_enabled;
+  return plan;
+}
+
+template <typename Family>
+GpoResult GpnAnalyzer<Family>::explore() const {
+  GpoResult result;
+  util::Stopwatch timer;
+  const std::size_t nt = net_.transition_count();
+  result.fireable_transitions = util::Bitset(nt);
+
+  std::unordered_map<State, std::size_t, StateHash> index;
+  std::vector<State> states;
+  // Bookkeeping for the anti-ignoring fixpoint: the single-enabled set of
+  // each state, the reduced graph's edges with the set of transitions each
+  // fired, and whether a state has already been fully expanded.
+  std::vector<util::Bitset> enabled_at;
+  std::vector<bool> fully_expanded;
+  struct Edge {
+    std::size_t from, to;
+    util::Bitset fired;
+  };
+  std::vector<Edge> edges;
+  // Discovery breadcrumbs for counterexample reconstruction.
+  struct Breadcrumb {
+    std::size_t parent = 0;
+    bool multiple = false;
+    std::vector<petri::TransitionId> fired;
+  };
+  std::vector<Breadcrumb> breadcrumbs;
+  Breadcrumb pending_crumb;  // describes the edge currently being emitted
+
+  auto intern = [&](State&& st) -> std::pair<std::size_t, bool> {
+    auto [it, inserted] = index.try_emplace(std::move(st), states.size());
+    if (inserted) {
+      states.push_back(it->first);
+      enabled_at.emplace_back(nt);
+      fully_expanded.push_back(false);
+      breadcrumbs.push_back(pending_crumb);
+    }
+    return {it->second, inserted};
+  };
+
+  // Classical firing sequence leading scenario v into GPN state `leaf`:
+  // walk the discovery path, keep at every step the transitions whose
+  // moved family contained v, and order each step's batch by classical
+  // simulation (the batch members are pairwise independent under v).
+  auto reconstruct = [&](std::size_t leaf, const TransitionSet& v) {
+    std::vector<std::size_t> path;  // state indices root..leaf
+    for (std::size_t i = leaf; i != 0; i = breadcrumbs[i].parent)
+      path.push_back(i);
+    std::reverse(path.begin(), path.end());
+
+    std::vector<petri::TransitionId> trace;
+    petri::Marking m = net_.initial_marking();
+    for (std::size_t child : path) {
+      const Breadcrumb& bc = breadcrumbs[child];
+      const State& from = states[bc.parent];
+      std::vector<petri::TransitionId> batch;
+      for (petri::TransitionId t : bc.fired) {
+        Family moved = bc.multiple ? m_enabled(t, from) : s_enabled(t, from);
+        if (moved.contains(v)) batch.push_back(t);
+      }
+      // Fire the batch in any classically enabled order.
+      while (!batch.empty()) {
+        bool progressed = false;
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          if (!net_.enabled(batch[i], m)) continue;
+          m = net_.fire(batch[i], m);
+          trace.push_back(batch[i]);
+          batch.erase(batch.begin() + static_cast<std::ptrdiff_t>(i));
+          progressed = true;
+          break;
+        }
+        if (!progressed) return std::vector<petri::TransitionId>{};  // bug guard
+      }
+    }
+    return trace;
+  };
+
+  std::deque<std::size_t> frontier;
+  intern(initial_state());
+  frontier.push_back(0);
+
+  bool stopped = false;
+
+  // Expands states from `frontier` until it drains (or a limit/stop hits).
+  auto run_bfs = [&]() {
+    while (!frontier.empty() && !stopped) {
+      if (states.size() > options_.max_states ||
+          timer.elapsed_seconds() > options_.max_seconds) {
+        result.limit_hit = true;
+        return;
+      }
+      if (states.size() > options_.delegate_after_states) {
+        result.bailed_to_classical = true;
+        return;
+      }
+      std::size_t si = frontier.front();
+      frontier.pop_front();
+      const State s = states[si];  // copy: `states` may grow below
+
+      // Deadlock check (before expansion, as in the paper's reach()).
+      if (auto scenario =
+              deadlock_scenario(s, options_.required_witness_place)) {
+        if (!result.deadlock_found) {
+          result.deadlock_found = true;
+          petri::Marking witness = scenario_marking(s, *scenario);
+          result.witness_is_dead = net_.is_deadlocked(witness);
+          result.deadlock_witness = std::move(witness);
+          result.counterexample = reconstruct(si, *scenario);
+        }
+        if (options_.stop_at_first_deadlock) {
+          stopped = true;
+          return;
+        }
+      }
+
+      std::vector<petri::TransitionId> single_enabled =
+          single_enabled_transitions(s);
+      for (petri::TransitionId t : single_enabled) enabled_at[si].set(t);
+      result.fireable_transitions |= enabled_at[si];
+      if (single_enabled.empty()) continue;  // fully dead GPN state
+
+      Expansion plan = plan_expansion(s, single_enabled);
+
+      auto emit = [&](State&& next, const util::Bitset& fired,
+                      const std::string& label) {
+        ++result.edge_count;
+        auto [idx, fresh] = intern(std::move(next));
+        edges.push_back({si, idx, fired});
+        if (options_.build_graph)
+          result.graph.edges.push_back({si, idx, label});
+        if (fresh) frontier.push_back(idx);
+      };
+
+      if (plan.multiple) {
+        ++result.multiple_steps;
+        util::Bitset fired(nt);
+        std::string label = "{";
+        for (std::size_t i = 0; i < plan.transitions.size(); ++i) {
+          if (i > 0) label += ',';
+          label += net_.transition(plan.transitions[i]).name;
+          fired.set(plan.transitions[i]);
+        }
+        label += "}";
+        pending_crumb = {si, true, plan.transitions};
+        emit(m_update(s, plan.transitions), fired, label);
+      } else {
+        ++result.single_steps;
+        if (plan.transitions.size() == single_enabled.size())
+          fully_expanded[si] = true;
+        for (petri::TransitionId t : plan.transitions) {
+          util::Bitset fired(nt);
+          fired.set(t);
+          pending_crumb = {si, false, {t}};
+          emit(s_update(s, t), fired, net_.transition(t).name);
+        }
+      }
+    }
+  };
+
+  run_bfs();
+
+  // Fragmentation bail-out: the reduced search grew past the configured
+  // threshold, which on re-contested cyclic nets means the scenario
+  // families fragment beyond the classical graph. Concede and finish the
+  // verdict with one classical stubborn-set search from the initial
+  // marking (complete for deadlock detection on its own).
+  if (result.bailed_to_classical && !stopped) {
+    por::StubbornOptions sopt;
+    sopt.max_states = options_.max_states;
+    sopt.max_seconds = options_.max_seconds - timer.elapsed_seconds();
+    sopt.stop_at_first_deadlock = true;
+    if (options_.required_witness_place) {
+      petri::PlaceId rp = *options_.required_witness_place;
+      sopt.deadlock_filter = [rp](const petri::Marking& m) {
+        return m.test(rp);
+      };
+    }
+    auto delegated =
+        por::StubbornExplorer(net_, sopt).explore_from({net_.initial_marking()});
+    result.delegated_states = delegated.state_count;
+    result.limit_hit |= delegated.limit_hit;
+    result.fireable_transitions |= delegated.fireable_transitions;
+    if (delegated.deadlock_found && !result.deadlock_found) {
+      result.deadlock_found = true;
+      result.deadlock_witness = delegated.first_deadlock;
+      result.witness_is_dead = true;
+    }
+  }
+
+  // Anti-ignoring guard (the check the paper's footnote elides): in every
+  // SCC that contains a cycle, a transition single-enabled at one of its
+  // states but fired on none of its internal edges may be postponed forever.
+  // The scenarios behind such a transition are beyond the one-choice-per-
+  // conflict expressiveness of a valid set (a *re-contested* conflict), so
+  // instead of fragmenting the GPN state space with single firings we
+  // delegate: run a classical stubborn-set deadlock search from the
+  // starving states' mapped markings. That search is bounded by the plain
+  // reachability graph and completes the deadlock verdict soundly.
+  if (options_.ignoring_guard && !stopped && !result.limit_hit &&
+      !result.bailed_to_classical) {
+    // Tarjan over the current reduced graph.
+    std::vector<std::vector<std::size_t>> succs(states.size());
+    for (std::size_t e = 0; e < edges.size(); ++e)
+      succs[edges[e].from].push_back(e);
+
+    std::vector<std::size_t> comp(states.size(), SIZE_MAX);
+    std::vector<std::size_t> low(states.size()), num(states.size(), SIZE_MAX);
+    std::vector<bool> on_stack(states.size(), false);
+    std::vector<std::size_t> stack;
+    std::size_t counter = 0, comp_count = 0;
+    // Iterative Tarjan (explicit frames) to survive deep graphs.
+    struct Frame {
+      std::size_t v;
+      std::size_t next_edge;
+    };
+    for (std::size_t root = 0; root < states.size(); ++root) {
+      if (num[root] != SIZE_MAX) continue;
+      std::vector<Frame> call{{root, 0}};
+      num[root] = low[root] = counter++;
+      stack.push_back(root);
+      on_stack[root] = true;
+      while (!call.empty()) {
+        Frame& f = call.back();
+        if (f.next_edge < succs[f.v].size()) {
+          std::size_t w = edges[succs[f.v][f.next_edge++]].to;
+          if (num[w] == SIZE_MAX) {
+            num[w] = low[w] = counter++;
+            stack.push_back(w);
+            on_stack[w] = true;
+            call.push_back({w, 0});
+          } else if (on_stack[w]) {
+            low[f.v] = std::min(low[f.v], num[w]);
+          }
+        } else {
+          if (low[f.v] == num[f.v]) {
+            while (true) {
+              std::size_t w = stack.back();
+              stack.pop_back();
+              on_stack[w] = false;
+              comp[w] = comp_count;
+              if (w == f.v) break;
+            }
+            ++comp_count;
+          }
+          std::size_t v = f.v;
+          call.pop_back();
+          if (!call.empty())
+            low[call.back().v] = std::min(low[call.back().v], low[v]);
+        }
+      }
+    }
+
+    // Fired transitions per SCC (internal edges only) + cyclicity.
+    std::vector<util::Bitset> fired_in(comp_count, util::Bitset(nt));
+    std::vector<bool> cyclic(comp_count, false);
+    std::vector<std::size_t> scc_size(comp_count, 0);
+    for (std::size_t v = 0; v < states.size(); ++v) ++scc_size[comp[v]];
+    for (const Edge& e : edges)
+      if (comp[e.from] == comp[e.to]) {
+        fired_in[comp[e.from]] |= e.fired;
+        cyclic[comp[e.from]] = true;  // internal edge => cycle (SCC property)
+      }
+
+    // Collect the classical markings of every starving state and hand them
+    // to one shared stubborn-set search.
+    std::vector<petri::Marking> roots;
+    for (std::size_t v = 0; v < states.size(); ++v) {
+      std::size_t c = comp[v];
+      if (!cyclic[c] || fully_expanded[v]) continue;
+      util::Bitset starving = enabled_at[v] - fired_in[c];
+      if (starving.none()) continue;
+      ++result.ignoring_expansions;
+      for (petri::Marking& m : mapping(states[v])) {
+        if (std::find(roots.begin(), roots.end(), m) == roots.end())
+          roots.push_back(std::move(m));
+      }
+    }
+    if (!roots.empty()) {
+      por::StubbornOptions sopt;
+      sopt.max_states = options_.max_states;
+      sopt.max_seconds = options_.max_seconds - timer.elapsed_seconds();
+      sopt.stop_at_first_deadlock = true;
+      if (options_.required_witness_place) {
+        petri::PlaceId p = *options_.required_witness_place;
+        sopt.deadlock_filter = [p](const petri::Marking& m) {
+          return m.test(p);
+        };
+      }
+      auto delegated = por::StubbornExplorer(net_, sopt).explore_from(roots);
+      result.delegated_states = delegated.state_count;
+      result.limit_hit |= delegated.limit_hit;
+      if (delegated.deadlock_found && !result.deadlock_found) {
+        result.deadlock_found = true;
+        result.deadlock_witness = delegated.first_deadlock;
+        result.witness_is_dead = true;
+      }
+    }
+  }
+
+  result.state_count = states.size();
+  result.seconds = timer.elapsed_seconds();
+  if (options_.build_graph) {
+    result.graph.initial = 0;
+    result.graph.node_labels.reserve(states.size());
+    for (const State& st : states) {
+      std::string label;
+      for (const auto& m : mapping(st, 16)) {
+        if (!label.empty()) label += " ";
+        label += reach::marking_to_string(net_, m);
+      }
+      result.graph.node_labels.push_back(label);
+    }
+  }
+  return result;
+}
+
+}  // namespace gpo::core

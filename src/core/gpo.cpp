@@ -1,0 +1,15 @@
+#include "core/gpo.hpp"
+
+namespace gpo::core {
+
+GpoResult run_gpo(const petri::PetriNet& net, FamilyKind kind,
+                  const GpoOptions& options) {
+  if (kind == FamilyKind::kExplicit) {
+    ExplicitFamily::Context ctx(net.transition_count());
+    return GpnAnalyzer<ExplicitFamily>(net, ctx, options).explore();
+  }
+  BddFamily::Context ctx(net.transition_count());
+  return GpnAnalyzer<BddFamily>(net, ctx, options).explore();
+}
+
+}  // namespace gpo::core

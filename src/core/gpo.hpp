@@ -1,0 +1,29 @@
+// Convenience front-end: runs generalized partial-order analysis with a
+// runtime-selected set-family representation. This is the entry point the
+// CLI, the examples and the benchmark harness use; library code that wants
+// the full API instantiates GpnAnalyzer directly.
+#pragma once
+
+#include "core/gpn_analyzer.hpp"
+#include "core/gpo_result.hpp"
+#include "petri/net.hpp"
+
+namespace gpo::core {
+
+enum class FamilyKind {
+  kExplicit,  // canonical sorted vector of transition sets
+  kBdd,       // Boolean function over |T| BDD variables
+};
+
+/// Runs the Section 3.3 analysis procedure on `net` and returns the result.
+/// With FamilyKind::kExplicit, nets whose explicit r0 would exceed the
+/// enumeration cap throw std::length_error — switch to kBdd for those.
+[[nodiscard]] GpoResult run_gpo(const petri::PetriNet& net,
+                                FamilyKind kind = FamilyKind::kExplicit,
+                                const GpoOptions& options = {});
+
+[[nodiscard]] inline const char* family_kind_name(FamilyKind k) {
+  return k == FamilyKind::kExplicit ? "explicit" : "bdd";
+}
+
+}  // namespace gpo::core

@@ -1,0 +1,92 @@
+// Result structures for generalized partial-order analysis, shared by both
+// family representations (and by the CLI/bench front-ends).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "petri/dot.hpp"
+#include "petri/net.hpp"
+#include "util/bitset.hpp"
+
+namespace gpo::core {
+
+struct GpoOptions {
+  std::size_t max_states = std::numeric_limits<std::size_t>::max();
+  double max_seconds = std::numeric_limits<double>::infinity();
+  bool stop_at_first_deadlock = false;
+  /// Record the GPN state graph (labels summarize markings); small nets only.
+  bool build_graph = false;
+  /// Guard against the ignoring problem — the check the paper's algorithm
+  /// elides in its footnote ("the firing of an enabled transition is not
+  /// postponed forever"). After the reduced search, every cyclic SCC of the
+  /// GPN graph is checked: a single-enabled transition of one of its states
+  /// that never fires inside the SCC is starved, and the starving states are
+  /// re-expanded with plain single firing until a fixpoint. Without the
+  /// guard the analysis can follow one livelock loop forever and miss
+  /// deadlocks reachable through the postponed transitions. Default on;
+  /// turning it off reproduces the rawest reduction numbers.
+  bool ignoring_guard = true;
+  /// Fragmentation bail-out: scenario tracking pays off only while GPN
+  /// states stay coarser than classical markings. On heavily re-contested
+  /// cyclic nets (conflicts resolved differently on every revolution) the
+  /// family dynamics can fragment far past the classical graph instead.
+  /// When the GPN state count exceeds this threshold the engine concedes,
+  /// abandons the reduced search and completes the verdict with one
+  /// classical stubborn-set search from the initial marking — sound, and
+  /// bounded by the plain reachability graph.
+  std::size_t delegate_after_states = 100'000;
+  /// When set, a deadlock is only reported if its witness marking marks this
+  /// place (the safety-to-deadlock reduction's violation place). The filter
+  /// is applied family-algebraically: dead scenarios are intersected with
+  /// m(place).
+  std::optional<petri::PlaceId> required_witness_place;
+};
+
+struct GpoResult {
+  std::size_t state_count = 0;
+  std::size_t edge_count = 0;
+  /// How many expansions used the multiple (simultaneous) firing rule vs the
+  /// single-firing fallback.
+  std::size_t multiple_steps = 0;
+  std::size_t single_steps = 0;
+  /// GPN states flagged by the anti-ignoring guard (see
+  /// GpoOptions::ignoring_guard) and the number of classical markings the
+  /// delegated stubborn-set search visited on their behalf.
+  std::size_t ignoring_expansions = 0;
+  std::size_t delegated_states = 0;
+  /// The fragmentation bail-out fired (GpoOptions::delegate_after_states):
+  /// the verdict was completed by a classical stubborn-set search.
+  bool bailed_to_classical = false;
+
+  bool deadlock_found = false;
+  /// Classical dead marking extracted from a valid set with no enabled
+  /// transition (the paper's deadlock characterization).
+  std::optional<petri::Marking> deadlock_witness;
+  /// A classical firing sequence from the initial marking into the witness,
+  /// reconstructed by replaying the dead scenario along the GPN discovery
+  /// path. Empty when the deadlock was found by a delegated classical
+  /// search (whose roots are mapped markings, not the initial one).
+  std::vector<petri::TransitionId> counterexample;
+  /// The witness re-checked against the classical enabling rule — must always
+  /// hold; kept as a self-diagnostic.
+  bool witness_is_dead = false;
+
+  /// Transitions single-enabled in at least one explored GPN state, i.e.
+  /// enabled at some covered classical marking. A sound *lower bound* on the
+  /// fireable transitions: membership certifies quasi-liveness, but the
+  /// reduction may skip markings where further transitions were enabled, so
+  /// the complement only suggests (not proves) dead transitions — use the
+  /// exhaustive engine for exact dead-transition detection.
+  util::Bitset fireable_transitions;
+
+  bool limit_hit = false;
+  double seconds = 0.0;
+
+  petri::LabeledGraph graph;  // populated when GpoOptions::build_graph
+};
+
+}  // namespace gpo::core

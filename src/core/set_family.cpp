@@ -1,0 +1,149 @@
+#include "core/set_family.hpp"
+
+#include <algorithm>
+
+namespace gpo::core {
+
+// ---------------------------------------------------------------------------
+// ExplicitFamily
+// ---------------------------------------------------------------------------
+
+ExplicitFamily ExplicitFamily::Context::from_sets(
+    std::vector<TransitionSet> sets) const {
+  for (const TransitionSet& s : sets)
+    if (s.size() != num_transitions_)
+      throw std::invalid_argument("from_sets: wrong universe size");
+  std::sort(sets.begin(), sets.end());
+  sets.erase(std::unique(sets.begin(), sets.end()), sets.end());
+  return ExplicitFamily(num_transitions_, std::move(sets));
+}
+
+ExplicitFamily ExplicitFamily::Context::initial_valid_sets(
+    const petri::ConflictInfo& conflicts) const {
+  return ExplicitFamily(num_transitions_,
+                        conflicts.maximal_conflict_free_sets());
+}
+
+ExplicitFamily ExplicitFamily::intersect(const ExplicitFamily& o) const {
+  std::vector<TransitionSet> out;
+  std::set_intersection(sets_.begin(), sets_.end(), o.sets_.begin(),
+                        o.sets_.end(), std::back_inserter(out));
+  return ExplicitFamily(num_transitions_, std::move(out));
+}
+
+ExplicitFamily ExplicitFamily::unite(const ExplicitFamily& o) const {
+  std::vector<TransitionSet> out;
+  std::set_union(sets_.begin(), sets_.end(), o.sets_.begin(), o.sets_.end(),
+                 std::back_inserter(out));
+  return ExplicitFamily(num_transitions_, std::move(out));
+}
+
+ExplicitFamily ExplicitFamily::subtract(const ExplicitFamily& o) const {
+  std::vector<TransitionSet> out;
+  std::set_difference(sets_.begin(), sets_.end(), o.sets_.begin(),
+                      o.sets_.end(), std::back_inserter(out));
+  return ExplicitFamily(num_transitions_, std::move(out));
+}
+
+ExplicitFamily ExplicitFamily::containing(petri::TransitionId t) const {
+  std::vector<TransitionSet> out;
+  for (const TransitionSet& s : sets_)
+    if (s.test(t)) out.push_back(s);
+  return ExplicitFamily(num_transitions_, std::move(out));
+}
+
+bool ExplicitFamily::contains(const TransitionSet& v) const {
+  return std::binary_search(sets_.begin(), sets_.end(), v);
+}
+
+std::vector<TransitionSet> ExplicitFamily::members(std::size_t max) const {
+  if (sets_.size() <= max) return sets_;
+  return {sets_.begin(), sets_.begin() + static_cast<std::ptrdiff_t>(max)};
+}
+
+std::size_t ExplicitFamily::hash() const {
+  std::size_t h = sets_.size();
+  for (const TransitionSet& s : sets_) util::hash_combine(h, s.hash());
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// BddFamily
+// ---------------------------------------------------------------------------
+
+BddFamily BddFamily::Context::single(const TransitionSet& set) const {
+  if (set.size() != num_transitions_)
+    throw std::invalid_argument("single: wrong universe size");
+  bdd::BddManager& mgr = *manager_;
+  // Full assignment: exactly this characteristic vector satisfies.
+  bdd::Ref f = bdd::kTrue;
+  for (std::size_t t = num_transitions_; t-- > 0;) {
+    bdd::Var v = static_cast<bdd::Var>(t);
+    f = mgr.apply_and(set.test(t) ? mgr.var(v) : mgr.nvar(v), f);
+  }
+  return BddFamily(manager_.get(), num_transitions_, f);
+}
+
+BddFamily BddFamily::Context::from_sets(
+    const std::vector<TransitionSet>& sets) const {
+  bdd::BddManager& mgr = *manager_;
+  bdd::Ref f = bdd::kFalse;
+  for (const TransitionSet& s : sets) f = mgr.apply_or(f, single(s).ref());
+  return BddFamily(manager_.get(), num_transitions_, f);
+}
+
+BddFamily BddFamily::Context::initial_valid_sets(
+    const petri::ConflictInfo& conflicts) const {
+  bdd::BddManager& mgr = *manager_;
+  const std::size_t nt = num_transitions_;
+  bdd::Ref f = bdd::kTrue;
+  // Built from high variable indices down so each conjunction touches the
+  // upper part of the order first — keeps intermediate results small.
+  for (std::size_t t = nt; t-- > 0;) {
+    const util::Bitset& nb = conflicts.neighbors(static_cast<std::uint32_t>(t));
+    // Independence: no conflicting pair is jointly included.
+    for (std::size_t u = nb.find_next(t + 1); u < nt; u = nb.find_next(u + 1)) {
+      bdd::Ref pair_free = mgr.apply_not(
+          mgr.apply_and(mgr.var(static_cast<bdd::Var>(t)),
+                        mgr.var(static_cast<bdd::Var>(u))));
+      f = mgr.apply_and(f, pair_free);
+    }
+    // Maximality: t excluded only if some conflicting neighbour is included.
+    bdd::Ref clause = mgr.var(static_cast<bdd::Var>(t));
+    for (std::size_t u = nb.find_first(); u < nt; u = nb.find_next(u + 1))
+      clause = mgr.apply_or(clause, mgr.var(static_cast<bdd::Var>(u)));
+    f = mgr.apply_and(f, clause);
+  }
+  return BddFamily(manager_.get(), num_transitions_, f);
+}
+
+bool BddFamily::contains(const TransitionSet& v) const {
+  bdd::Ref cur = ref_;
+  while (!mgr_->is_terminal(cur)) {
+    bdd::Var var = mgr_->var_of(cur);
+    cur = v.test(var) ? mgr_->high_of(cur) : mgr_->low_of(cur);
+  }
+  return cur == bdd::kTrue;
+}
+
+double BddFamily::count() const {
+  std::vector<bdd::Var> all;
+  all.reserve(num_transitions_);
+  for (std::size_t t = 0; t < num_transitions_; ++t)
+    all.push_back(static_cast<bdd::Var>(t));
+  return mgr_->sat_count(ref_, all);
+}
+
+std::vector<TransitionSet> BddFamily::members(std::size_t max) const {
+  std::vector<bdd::Var> all;
+  all.reserve(num_transitions_);
+  for (std::size_t t = 0; t < num_transitions_; ++t)
+    all.push_back(static_cast<bdd::Var>(t));
+  std::vector<TransitionSet> out;
+  mgr_->enumerate_sats(ref_, all, max, [&](const util::Bitset& assignment) {
+    out.push_back(assignment);
+  });
+  return out;
+}
+
+}  // namespace gpo::core

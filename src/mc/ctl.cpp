@@ -1,0 +1,578 @@
+#include "mc/ctl.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <deque>
+#include <unordered_map>
+
+namespace gpo::mc {
+
+using petri::Marking;
+using petri::PetriNet;
+using petri::TransitionId;
+using util::Bitset;
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Token {
+  enum Kind {
+    kIdent,
+    kNot,
+    kAnd,
+    kOr,
+    kImplies,
+    kLParen,
+    kRParen,
+    kLBracket,
+    kRBracket,
+    kU,
+    kEnd,
+  } kind;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) { advance(); }
+
+  const Token& peek() const { return current_; }
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    if (pos_ >= text_.size()) {
+      current_ = {Token::kEnd, ""};
+      return;
+    }
+    char c = text_[pos_];
+    auto two = text_.substr(pos_, 2);
+    if (c == '!') {
+      ++pos_;
+      current_ = {Token::kNot, "!"};
+    } else if (two == "&&") {
+      pos_ += 2;
+      current_ = {Token::kAnd, "&&"};
+    } else if (two == "||") {
+      pos_ += 2;
+      current_ = {Token::kOr, "||"};
+    } else if (two == "->") {
+      pos_ += 2;
+      current_ = {Token::kImplies, "->"};
+    } else if (c == '(') {
+      ++pos_;
+      current_ = {Token::kLParen, "("};
+    } else if (c == ')') {
+      ++pos_;
+      current_ = {Token::kRParen, ")"};
+    } else if (c == '[') {
+      ++pos_;
+      current_ = {Token::kLBracket, "["};
+    } else if (c == ']') {
+      ++pos_;
+      current_ = {Token::kRBracket, "]"};
+    } else if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_' || text_[pos_] == '.'))
+        ++pos_;
+      std::string ident(text_.substr(start, pos_ - start));
+      current_ = {ident == "U" ? Token::kU : Token::kIdent, ident};
+    } else {
+      throw parser::ParseError(1, std::string("CTL: unexpected character '") +
+                                      c + "'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  Token current_{Token::kEnd, ""};
+};
+
+std::unique_ptr<CtlFormula> make_node(CtlOp op,
+                                      std::unique_ptr<CtlFormula> lhs = {},
+                                      std::unique_ptr<CtlFormula> rhs = {}) {
+  auto f = std::make_unique<CtlFormula>();
+  f->op = op;
+  f->lhs = std::move(lhs);
+  f->rhs = std::move(rhs);
+  return f;
+}
+
+class Parser {
+ public:
+  Parser(std::string_view text, const PetriNet& net)
+      : lexer_(text), net_(net) {}
+
+  std::unique_ptr<CtlFormula> parse() {
+    auto f = parse_implies();
+    if (lexer_.peek().kind != Token::kEnd)
+      throw parser::ParseError(1, "CTL: trailing input after formula");
+    return f;
+  }
+
+ private:
+  std::unique_ptr<CtlFormula> parse_implies() {
+    auto lhs = parse_or();
+    if (lexer_.peek().kind == Token::kImplies) {
+      lexer_.take();
+      // Right associative.
+      return make_node(CtlOp::kImplies, std::move(lhs), parse_implies());
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<CtlFormula> parse_or() {
+    auto lhs = parse_and();
+    while (lexer_.peek().kind == Token::kOr) {
+      lexer_.take();
+      lhs = make_node(CtlOp::kOr, std::move(lhs), parse_and());
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<CtlFormula> parse_and() {
+    auto lhs = parse_unary();
+    while (lexer_.peek().kind == Token::kAnd) {
+      lexer_.take();
+      lhs = make_node(CtlOp::kAnd, std::move(lhs), parse_unary());
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<CtlFormula> parse_until(CtlOp op) {
+    if (lexer_.take().kind != Token::kLBracket)
+      throw parser::ParseError(1, "CTL: expected '[' after path quantifier");
+    auto lhs = parse_implies();
+    if (lexer_.take().kind != Token::kU)
+      throw parser::ParseError(1, "CTL: expected 'U' in until formula");
+    auto rhs = parse_implies();
+    if (lexer_.take().kind != Token::kRBracket)
+      throw parser::ParseError(1, "CTL: expected ']' closing until formula");
+    return make_node(op, std::move(lhs), std::move(rhs));
+  }
+
+  std::unique_ptr<CtlFormula> parse_unary() {
+    const Token& t = lexer_.peek();
+    switch (t.kind) {
+      case Token::kNot:
+        lexer_.take();
+        return make_node(CtlOp::kNot, parse_unary());
+      case Token::kLParen: {
+        lexer_.take();
+        auto f = parse_implies();
+        if (lexer_.take().kind != Token::kRParen)
+          throw parser::ParseError(1, "CTL: missing ')'");
+        return f;
+      }
+      case Token::kIdent: {
+        std::string ident = lexer_.take().text;
+        if (ident == "true") return make_node(CtlOp::kTrue);
+        if (ident == "false") return make_node(CtlOp::kFalse);
+        if (ident == "deadlock") return make_node(CtlOp::kDeadlockAtom);
+        if (ident == "EX") return make_node(CtlOp::kEX, parse_unary());
+        if (ident == "AX") return make_node(CtlOp::kAX, parse_unary());
+        if (ident == "EF") return make_node(CtlOp::kEF, parse_unary());
+        if (ident == "AF") return make_node(CtlOp::kAF, parse_unary());
+        if (ident == "EG") return make_node(CtlOp::kEG, parse_unary());
+        if (ident == "AG") return make_node(CtlOp::kAG, parse_unary());
+        if (ident == "E") return parse_until(CtlOp::kEU);
+        if (ident == "A") return parse_until(CtlOp::kAU);
+        auto p = net_.find_place(ident);
+        if (p == petri::kInvalidPlace)
+          throw parser::ParseError(1, "CTL: unknown place '" + ident + "'");
+        auto f = make_node(CtlOp::kAtom);
+        f->place = p;
+        return f;
+      }
+      default:
+        throw parser::ParseError(1, "CTL: unexpected token '" + t.text + "'");
+    }
+  }
+
+  Lexer lexer_;
+  const PetriNet& net_;
+};
+
+}  // namespace
+
+CtlFormula parse_ctl(std::string_view text, const PetriNet& net) {
+  return std::move(*Parser(text, net).parse());
+}
+
+std::string CtlFormula::to_string(const PetriNet& net) const {
+  switch (op) {
+    case CtlOp::kAtom: return net.place(place).name;
+    case CtlOp::kDeadlockAtom: return "deadlock";
+    case CtlOp::kTrue: return "true";
+    case CtlOp::kFalse: return "false";
+    case CtlOp::kNot: return "!" + lhs->to_string(net);
+    case CtlOp::kAnd:
+      return "(" + lhs->to_string(net) + " && " + rhs->to_string(net) + ")";
+    case CtlOp::kOr:
+      return "(" + lhs->to_string(net) + " || " + rhs->to_string(net) + ")";
+    case CtlOp::kImplies:
+      return "(" + lhs->to_string(net) + " -> " + rhs->to_string(net) + ")";
+    case CtlOp::kEX: return "EX " + lhs->to_string(net);
+    case CtlOp::kAX: return "AX " + lhs->to_string(net);
+    case CtlOp::kEF: return "EF " + lhs->to_string(net);
+    case CtlOp::kAF: return "AF " + lhs->to_string(net);
+    case CtlOp::kEG: return "EG " + lhs->to_string(net);
+    case CtlOp::kAG: return "AG " + lhs->to_string(net);
+    case CtlOp::kEU:
+      return "E [" + lhs->to_string(net) + " U " + rhs->to_string(net) + "]";
+    case CtlOp::kAU:
+      return "A [" + lhs->to_string(net) + " U " + rhs->to_string(net) + "]";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The reachability graph in adjacency form; deadlock states get an
+/// implicit self-loop to keep the relation total.
+struct Graph {
+  std::vector<Marking> states;
+  std::vector<std::vector<std::size_t>> succs;
+  std::vector<std::vector<std::size_t>> preds;
+  std::vector<std::pair<std::size_t, TransitionId>> breadcrumbs;
+  Bitset deadlocks{0};
+  bool limit_hit = false;
+};
+
+Graph build_graph(const PetriNet& net, std::size_t max_states) {
+  Graph g;
+  std::unordered_map<Marking, std::size_t> index;
+  std::deque<std::size_t> frontier;
+  auto intern = [&](const Marking& m, std::size_t parent, TransitionId via) {
+    auto [it, inserted] = index.try_emplace(m, g.states.size());
+    if (inserted) {
+      g.states.push_back(m);
+      g.succs.emplace_back();
+      g.preds.emplace_back();
+      g.breadcrumbs.emplace_back(parent, via);
+      frontier.push_back(it->second);
+    }
+    return it->second;
+  };
+  intern(net.initial_marking(), 0, petri::kInvalidTransition);
+  while (!frontier.empty()) {
+    if (g.states.size() > max_states) {
+      g.limit_hit = true;
+      break;
+    }
+    std::size_t s = frontier.front();
+    frontier.pop_front();
+    const Marking m = g.states[s];
+    for (TransitionId t = 0; t < net.transition_count(); ++t) {
+      if (!net.enabled(t, m)) continue;
+      std::size_t next = intern(net.fire(t, m), s, t);
+      g.succs[s].push_back(next);
+      g.preds[next].push_back(s);
+    }
+  }
+  g.deadlocks = Bitset(g.states.size());
+  for (std::size_t s = 0; s < g.states.size(); ++s) {
+    if (g.succs[s].empty()) {
+      g.deadlocks.set(s);
+      g.succs[s].push_back(s);  // totalize
+      g.preds[s].push_back(s);
+    }
+  }
+  return g;
+}
+
+Bitset eval(const CtlFormula& f, const Graph& g) {
+  const std::size_t n = g.states.size();
+  Bitset out(n);
+  switch (f.op) {
+    case CtlOp::kAtom:
+      for (std::size_t s = 0; s < n; ++s)
+        if (g.states[s].test(f.place)) out.set(s);
+      return out;
+    case CtlOp::kDeadlockAtom:
+      return g.deadlocks;
+    case CtlOp::kTrue:
+      for (std::size_t s = 0; s < n; ++s) out.set(s);
+      return out;
+    case CtlOp::kFalse:
+      return out;
+    case CtlOp::kNot: {
+      Bitset a = eval(*f.lhs, g);
+      for (std::size_t s = 0; s < n; ++s)
+        if (!a.test(s)) out.set(s);
+      return out;
+    }
+    case CtlOp::kAnd:
+      return eval(*f.lhs, g) & eval(*f.rhs, g);
+    case CtlOp::kOr:
+      return eval(*f.lhs, g) | eval(*f.rhs, g);
+    case CtlOp::kImplies: {
+      Bitset a = eval(*f.lhs, g);
+      Bitset b = eval(*f.rhs, g);
+      for (std::size_t s = 0; s < n; ++s)
+        if (!a.test(s) || b.test(s)) out.set(s);
+      return out;
+    }
+    case CtlOp::kEX: {
+      Bitset a = eval(*f.lhs, g);
+      for (std::size_t s = 0; s < n; ++s)
+        for (std::size_t succ : g.succs[s])
+          if (a.test(succ)) {
+            out.set(s);
+            break;
+          }
+      return out;
+    }
+    case CtlOp::kAX: {
+      Bitset a = eval(*f.lhs, g);
+      for (std::size_t s = 0; s < n; ++s) {
+        bool all = true;
+        for (std::size_t succ : g.succs[s])
+          if (!a.test(succ)) {
+            all = false;
+            break;
+          }
+        if (all) out.set(s);
+      }
+      return out;
+    }
+    case CtlOp::kEF: {
+      // EF a = E [ true U a ]: backward reachability from a.
+      Bitset a = eval(*f.lhs, g);
+      std::deque<std::size_t> work;
+      for (std::size_t s = a.find_first(); s < n; s = a.find_next(s + 1)) {
+        out.set(s);
+        work.push_back(s);
+      }
+      while (!work.empty()) {
+        std::size_t s = work.front();
+        work.pop_front();
+        for (std::size_t p : g.preds[s])
+          if (!out.test(p)) {
+            out.set(p);
+            work.push_back(p);
+          }
+      }
+      return out;
+    }
+    case CtlOp::kAG: {
+      // AG a = !EF !a, computed set-wise.
+      Bitset a = eval(*f.lhs, g);
+      Bitset bad(n);
+      std::deque<std::size_t> work;
+      for (std::size_t s = 0; s < n; ++s)
+        if (!a.test(s)) {
+          bad.set(s);
+          work.push_back(s);
+        }
+      while (!work.empty()) {
+        std::size_t s = work.front();
+        work.pop_front();
+        for (std::size_t p : g.preds[s])
+          if (!bad.test(p)) {
+            bad.set(p);
+            work.push_back(p);
+          }
+      }
+      for (std::size_t s = 0; s < n; ++s)
+        if (!bad.test(s)) out.set(s);
+      return out;
+    }
+    case CtlOp::kEU: {
+      Bitset a = eval(*f.lhs, g);
+      Bitset b = eval(*f.rhs, g);
+      std::deque<std::size_t> work;
+      for (std::size_t s = b.find_first(); s < n; s = b.find_next(s + 1)) {
+        out.set(s);
+        work.push_back(s);
+      }
+      while (!work.empty()) {
+        std::size_t s = work.front();
+        work.pop_front();
+        for (std::size_t p : g.preds[s])
+          if (!out.test(p) && a.test(p)) {
+            out.set(p);
+            work.push_back(p);
+          }
+      }
+      return out;
+    }
+    case CtlOp::kEG: {
+      // Greatest fixpoint: start from states satisfying a, repeatedly drop
+      // those with no successor inside the set.
+      Bitset a = eval(*f.lhs, g);
+      Bitset in = a;
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (std::size_t s = in.find_first(); s < n;
+             s = in.find_next(s + 1)) {
+          bool has = false;
+          for (std::size_t succ : g.succs[s])
+            if (in.test(succ)) {
+              has = true;
+              break;
+            }
+          if (!has) {
+            in.reset(s);
+            changed = true;
+          }
+        }
+      }
+      return in;
+    }
+    case CtlOp::kAF: {
+      // AF a = !EG !a.
+      Bitset a = eval(*f.lhs, g);
+      Bitset in(n);
+      for (std::size_t s = 0; s < n; ++s)
+        if (!a.test(s)) in.set(s);
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (std::size_t s = in.find_first(); s < n;
+             s = in.find_next(s + 1)) {
+          bool has = false;
+          for (std::size_t succ : g.succs[s])
+            if (in.test(succ)) {
+              has = true;
+              break;
+            }
+          if (!has) {
+            in.reset(s);
+            changed = true;
+          }
+        }
+      }
+      for (std::size_t s = 0; s < n; ++s)
+        if (!in.test(s)) out.set(s);
+      return out;
+    }
+    case CtlOp::kAU: {
+      // A[a U b] = !( E[!b U (!a && !b)] || EG !b ).
+      Bitset a = eval(*f.lhs, g);
+      Bitset b = eval(*f.rhs, g);
+      // EG !b part.
+      Bitset eg(n);
+      for (std::size_t s = 0; s < n; ++s)
+        if (!b.test(s)) eg.set(s);
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (std::size_t s = eg.find_first(); s < n;
+             s = eg.find_next(s + 1)) {
+          bool has = false;
+          for (std::size_t succ : g.succs[s])
+            if (eg.test(succ)) {
+              has = true;
+              break;
+            }
+          if (!has) {
+            eg.reset(s);
+            changed = true;
+          }
+        }
+      }
+      // E[!b U (!a && !b)] part.
+      Bitset eu(n);
+      std::deque<std::size_t> work;
+      for (std::size_t s = 0; s < n; ++s)
+        if (!a.test(s) && !b.test(s)) {
+          eu.set(s);
+          work.push_back(s);
+        }
+      while (!work.empty()) {
+        std::size_t s = work.front();
+        work.pop_front();
+        for (std::size_t p : g.preds[s])
+          if (!eu.test(p) && !b.test(p)) {
+            eu.set(p);
+            work.push_back(p);
+          }
+      }
+      for (std::size_t s = 0; s < n; ++s)
+        if (!eu.test(s) && !eg.test(s)) out.set(s);
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+CtlResult check_ctl(const PetriNet& net, const CtlFormula& f,
+                    const CtlOptions& options) {
+  Graph g = build_graph(net, options.max_states);
+  CtlResult result;
+  result.state_count = g.states.size();
+  result.limit_hit = g.limit_hit;
+  Bitset sat = eval(f, g);
+  result.satisfying_states = sat.count();
+  result.holds = sat.test(0);
+
+  // AG counterexample: shortest path (over the discovery tree) to a state
+  // violating the operand.
+  if (!result.holds && f.op == CtlOp::kAG) {
+    Bitset operand = eval(*f.lhs, g);
+    // BFS over the graph to the nearest violating state.
+    std::vector<std::ptrdiff_t> parent(g.states.size(), -1);
+    std::vector<TransitionId> via(g.states.size(), petri::kInvalidTransition);
+    std::deque<std::size_t> work{0};
+    std::vector<bool> seen(g.states.size(), false);
+    seen[0] = true;
+    std::ptrdiff_t target = operand.test(0) ? -1 : 0;
+    while (!work.empty() && target < 0) {
+      std::size_t s = work.front();
+      work.pop_front();
+      const Marking& m = g.states[s];
+      for (TransitionId t = 0; t < net.transition_count(); ++t) {
+        if (!net.enabled(t, m)) continue;
+        // Successor index lookup through the graph structure.
+        Marking nm = net.fire(t, m);
+        for (std::size_t succ : g.succs[s]) {
+          if (!(g.states[succ] == nm) || seen[succ]) continue;
+          seen[succ] = true;
+          parent[succ] = static_cast<std::ptrdiff_t>(s);
+          via[succ] = t;
+          if (!operand.test(succ)) {
+            target = static_cast<std::ptrdiff_t>(succ);
+            break;
+          }
+          work.push_back(succ);
+        }
+        if (target >= 0) break;
+      }
+    }
+    if (target >= 0) {
+      for (std::ptrdiff_t s = target; parent[s] >= 0; s = parent[s])
+        result.counterexample.push_back(via[s]);
+      std::reverse(result.counterexample.begin(),
+                   result.counterexample.end());
+    }
+  }
+  return result;
+}
+
+CtlResult check_ctl(const PetriNet& net, std::string_view formula,
+                    const CtlOptions& options) {
+  CtlFormula f = parse_ctl(formula, net);
+  return check_ctl(net, f, options);
+}
+
+}  // namespace gpo::mc

@@ -1,0 +1,91 @@
+// CTL model checking over the explicit reachability graph.
+//
+// The paper notes that partial-order methods are "even partially applicable
+// to model checking" [Godefroid-Wolper]; this module provides the classical
+// global CTL evaluator the reduced engines would plug into: atomic
+// propositions are place markings (plus the distinguished `deadlock` atom),
+// and the temporal operators are computed with the standard fixpoint
+// characterizations over the full graph. Deadlock states are given an
+// implicit self-loop so the transition relation is total (the usual tool
+// convention; `deadlock` still identifies them exactly).
+//
+// Formula syntax (parse_ctl):
+//   f ::= place-name | deadlock | true | false | ( f )
+//       | ! f | f && f | f || f | f -> f
+//       | EX f | AX f | EF f | AF f | EG f | AG f
+//       | E [ f U f ] | A [ f U f ]
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "parser/net_format.hpp"  // ParseError
+#include "petri/net.hpp"
+#include "util/bitset.hpp"
+
+namespace gpo::mc {
+
+enum class CtlOp {
+  kAtom,   // place marked (place field)
+  kDeadlockAtom,
+  kTrue,
+  kFalse,
+  kNot,
+  kAnd,
+  kOr,
+  kImplies,
+  kEX,
+  kAX,
+  kEF,
+  kAF,
+  kEG,
+  kAG,
+  kEU,  // E [ lhs U rhs ]
+  kAU,  // A [ lhs U rhs ]
+};
+
+struct CtlFormula {
+  CtlOp op;
+  petri::PlaceId place = petri::kInvalidPlace;  // kAtom
+  std::unique_ptr<CtlFormula> lhs;              // unary/binary operand
+  std::unique_ptr<CtlFormula> rhs;              // binary operand
+
+  /// Formula rendering (canonical, fully parenthesized).
+  [[nodiscard]] std::string to_string(const petri::PetriNet& net) const;
+};
+
+/// Parses the syntax above; place names are resolved against `net`.
+[[nodiscard]] CtlFormula parse_ctl(std::string_view text,
+                                   const petri::PetriNet& net);
+
+struct CtlOptions {
+  std::size_t max_states = 5'000'000;
+};
+
+struct CtlResult {
+  /// Does the initial marking satisfy the formula?
+  bool holds = false;
+  /// Number of reachable states satisfying it.
+  std::size_t satisfying_states = 0;
+  std::size_t state_count = 0;
+  /// For a violated AG/invariant-style query: a firing sequence from the
+  /// initial marking to a state violating the operand (filled when the top
+  /// operator is AG and the result is false).
+  std::vector<petri::TransitionId> counterexample;
+  bool limit_hit = false;
+};
+
+/// Builds the reachability graph of `net` and evaluates `f` globally.
+[[nodiscard]] CtlResult check_ctl(const petri::PetriNet& net,
+                                  const CtlFormula& f,
+                                  const CtlOptions& options = {});
+
+/// Convenience: parse then check.
+[[nodiscard]] CtlResult check_ctl(const petri::PetriNet& net,
+                                  std::string_view formula,
+                                  const CtlOptions& options = {});
+
+}  // namespace gpo::mc

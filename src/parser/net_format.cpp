@@ -1,0 +1,148 @@
+#include "parser/net_format.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "petri/builder.hpp"
+
+namespace gpo::parser {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '.' || c == '[' || c == ']' || c == '-';
+}
+
+/// Splits one logical line into whitespace-separated tokens, with "->"
+/// recognized as its own token; strips comments.
+std::vector<std::string> tokenize(std::string_view line, std::size_t lineno) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+    } else if (c == '#' || c == ';') {
+      break;
+    } else if (c == '-' && i + 1 < line.size() && line[i + 1] == '>') {
+      tokens.emplace_back("->");
+      i += 2;
+    } else if (is_ident_start(c)) {
+      std::size_t j = i;
+      while (j < line.size() && is_ident_char(line[j])) {
+        // Stop before an arrow so "a->b" tokenizes as three tokens.
+        if (line[j] == '-' && j + 1 < line.size() && line[j + 1] == '>') break;
+        ++j;
+      }
+      tokens.emplace_back(line.substr(i, j - i));
+      i = j;
+    } else {
+      throw ParseError(lineno,
+                       std::string("unexpected character '") + c + "'");
+    }
+  }
+  return tokens;
+}
+
+}  // namespace
+
+petri::PetriNet parse_net(std::string_view text) {
+  petri::NetBuilder builder;
+  bool named = false;
+
+  std::size_t lineno = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                       : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++lineno;
+
+    std::vector<std::string> tok = tokenize(line, lineno);
+    if (tok.empty()) continue;
+    const std::string& kw = tok[0];
+
+    if (kw == "net") {
+      if (tok.size() != 2) throw ParseError(lineno, "expected: net <name>");
+      if (named) throw ParseError(lineno, "duplicate 'net' declaration");
+      builder = petri::NetBuilder(tok[1]);
+      named = true;
+    } else if (kw == "place") {
+      if (tok.size() != 2 && !(tok.size() == 3 && tok[2] == "marked"))
+        throw ParseError(lineno, "expected: place <name> [marked]");
+      builder.add_place(tok[1], tok.size() == 3);
+    } else if (kw == "trans") {
+      if (tok.size() != 2) throw ParseError(lineno, "expected: trans <name>");
+      builder.add_transition(tok[1]);
+    } else if (kw == "arc") {
+      if (tok.size() != 4 || tok[2] != "->")
+        throw ParseError(lineno, "expected: arc <from> -> <to>");
+      const std::string& from = tok[1];
+      const std::string& to = tok[3];
+      bool from_place = builder.has_place(from);
+      bool from_trans = builder.has_transition(from);
+      bool to_place = builder.has_place(to);
+      bool to_trans = builder.has_transition(to);
+      if (from_place && to_trans) {
+        builder.add_input_arc(builder.place_id(from),
+                              builder.transition_id(to));
+      } else if (from_trans && to_place) {
+        builder.add_output_arc(builder.transition_id(from),
+                               builder.place_id(to));
+      } else if (!from_place && !from_trans) {
+        throw ParseError(lineno, "undeclared arc source '" + from + "'");
+      } else if (!to_place && !to_trans) {
+        throw ParseError(lineno, "undeclared arc target '" + to + "'");
+      } else {
+        throw ParseError(lineno,
+                         "arc must connect a place and a transition: '" +
+                             from + " -> " + to + "'");
+      }
+    } else {
+      throw ParseError(lineno, "unknown keyword '" + kw + "'");
+    }
+  }
+  return builder.build();
+}
+
+petri::PetriNet parse_net_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open net file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_net(ss.str());
+}
+
+void write_net(std::ostream& os, const petri::PetriNet& net) {
+  os << "net " << net.name() << "\n";
+  for (petri::PlaceId p = 0; p < net.place_count(); ++p) {
+    os << "place " << net.place(p).name;
+    if (net.initial_marking().test(p)) os << " marked";
+    os << "\n";
+  }
+  for (petri::TransitionId t = 0; t < net.transition_count(); ++t)
+    os << "trans " << net.transition(t).name << "\n";
+  for (petri::TransitionId t = 0; t < net.transition_count(); ++t) {
+    const auto& tr = net.transition(t);
+    for (petri::PlaceId p : tr.pre)
+      os << "arc " << net.place(p).name << " -> " << tr.name << "\n";
+    for (petri::PlaceId p : tr.post)
+      os << "arc " << tr.name << " -> " << net.place(p).name << "\n";
+  }
+}
+
+std::string net_to_string(const petri::PetriNet& net) {
+  std::ostringstream ss;
+  write_net(ss, net);
+  return ss.str();
+}
+
+}  // namespace gpo::parser

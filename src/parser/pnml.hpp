@@ -1,0 +1,32 @@
+// Reader/writer for a practical subset of PNML (the ISO/IEC 15909-2 Petri
+// Net Markup Language) covering place/transition nets: <place> with
+// <initialMarking>, <transition>, <arc>, nested <page> elements, and
+// <name><text> labels. This is the interchange format of mainstream Petri
+// net tools (TINA, LoLA, WoPeD, PIPE), so nets can move between them and
+// this library. The XML reader underneath is deliberately minimal —
+// elements, attributes, text and comments; no DTD/entities beyond the five
+// predefined ones.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "parser/net_format.hpp"  // ParseError
+#include "petri/net.hpp"
+
+namespace gpo::parser {
+
+/// Parses the first <net> of a PNML document. Arc multiplicities other than
+/// one and marking counts above one are rejected (safe nets only). Throws
+/// ParseError on malformed XML or unsupported constructs.
+[[nodiscard]] petri::PetriNet parse_pnml(std::string_view text);
+
+[[nodiscard]] petri::PetriNet parse_pnml_file(const std::string& path);
+
+/// Serializes `net` as a single-page PNML place/transition net.
+void write_pnml(std::ostream& os, const petri::PetriNet& net);
+
+[[nodiscard]] std::string pnml_to_string(const petri::PetriNet& net);
+
+}  // namespace gpo::parser

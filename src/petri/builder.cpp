@@ -1,0 +1,116 @@
+#include "petri/builder.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace gpo::petri {
+
+PlaceId NetBuilder::add_place(const std::string& name, bool marked) {
+  if (place_index_.contains(name))
+    throw NetError("duplicate place name: " + name);
+  PlaceId id = static_cast<PlaceId>(place_names_.size());
+  place_names_.push_back(name);
+  marked_.push_back(marked);
+  place_index_.emplace(name, id);
+  return id;
+}
+
+TransitionId NetBuilder::add_transition(const std::string& name) {
+  if (transition_index_.contains(name))
+    throw NetError("duplicate transition name: " + name);
+  TransitionId id = static_cast<TransitionId>(transition_names_.size());
+  transition_names_.push_back(name);
+  transition_index_.emplace(name, id);
+  return id;
+}
+
+void NetBuilder::add_input_arc(PlaceId p, TransitionId t) {
+  if (p >= place_names_.size()) throw NetError("input arc: unknown place id");
+  if (t >= transition_names_.size())
+    throw NetError("input arc: unknown transition id");
+  input_arcs_.push_back({p, t});
+}
+
+void NetBuilder::add_output_arc(TransitionId t, PlaceId p) {
+  if (p >= place_names_.size()) throw NetError("output arc: unknown place id");
+  if (t >= transition_names_.size())
+    throw NetError("output arc: unknown transition id");
+  output_arcs_.push_back({p, t});
+}
+
+void NetBuilder::connect(TransitionId t, const std::vector<PlaceId>& pre,
+                         const std::vector<PlaceId>& post) {
+  for (PlaceId p : pre) add_input_arc(p, t);
+  for (PlaceId p : post) add_output_arc(t, p);
+}
+
+PlaceId NetBuilder::place_id(const std::string& name) const {
+  auto it = place_index_.find(name);
+  if (it == place_index_.end()) throw NetError("unknown place: " + name);
+  return it->second;
+}
+
+TransitionId NetBuilder::transition_id(const std::string& name) const {
+  auto it = transition_index_.find(name);
+  if (it == transition_index_.end())
+    throw NetError("unknown transition: " + name);
+  return it->second;
+}
+
+PetriNet NetBuilder::build(bool allow_empty_presets) const {
+  PetriNet net;
+  net.name_ = name_;
+
+  net.places_.resize(place_names_.size());
+  for (PlaceId p = 0; p < place_names_.size(); ++p)
+    net.places_[p].name = place_names_[p];
+
+  net.transitions_.resize(transition_names_.size());
+  for (TransitionId t = 0; t < transition_names_.size(); ++t) {
+    net.transitions_[t].name = transition_names_[t];
+    net.transitions_[t].pre_bits = Marking(place_names_.size());
+    net.transitions_[t].post_bits = Marking(place_names_.size());
+  }
+
+  std::set<std::pair<PlaceId, TransitionId>> seen_in;
+  for (const Arc& a : input_arcs_) {
+    if (!seen_in.insert({a.place, a.transition}).second)
+      throw NetError("duplicate input arc " + place_names_[a.place] + " -> " +
+                     transition_names_[a.transition]);
+    net.transitions_[a.transition].pre.push_back(a.place);
+    net.transitions_[a.transition].pre_bits.set(a.place);
+    net.places_[a.place].post.push_back(a.transition);
+  }
+  std::set<std::pair<PlaceId, TransitionId>> seen_out;
+  for (const Arc& a : output_arcs_) {
+    if (!seen_out.insert({a.place, a.transition}).second)
+      throw NetError("duplicate output arc " +
+                     transition_names_[a.transition] + " -> " +
+                     place_names_[a.place]);
+    net.transitions_[a.transition].post.push_back(a.place);
+    net.transitions_[a.transition].post_bits.set(a.place);
+    net.places_[a.place].pre.push_back(a.transition);
+  }
+
+  for (auto& pl : net.places_) {
+    std::sort(pl.pre.begin(), pl.pre.end());
+    std::sort(pl.post.begin(), pl.post.end());
+  }
+  for (TransitionId t = 0; t < net.transitions_.size(); ++t) {
+    auto& tr = net.transitions_[t];
+    std::sort(tr.pre.begin(), tr.pre.end());
+    std::sort(tr.post.begin(), tr.post.end());
+    if (tr.pre.empty() && !allow_empty_presets)
+      throw NetError("transition " + tr.name +
+                     " has no input places (source transitions are not "
+                     "allowed in safe nets)");
+  }
+
+  net.initial_ = Marking(place_names_.size());
+  for (PlaceId p = 0; p < marked_.size(); ++p)
+    if (marked_[p]) net.initial_.set(p);
+
+  return net;
+}
+
+}  // namespace gpo::petri

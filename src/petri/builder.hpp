@@ -1,0 +1,79 @@
+// Mutable construction interface for PetriNet. All model generators, the
+// parser and the tests build nets through this class; build() performs the
+// single validation pass (unique names, arc sanity, no duplicate arcs,
+// non-empty presets) so the analysis engines can assume a well-formed net.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "petri/net.hpp"
+
+namespace gpo::petri {
+
+/// Thrown by NetBuilder on structurally invalid nets (duplicate names,
+/// unknown arc endpoints, duplicate arcs, transitions without input places).
+class NetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class NetBuilder {
+ public:
+  explicit NetBuilder(std::string name = "net") : name_(std::move(name)) {}
+
+  /// Adds a place; `marked` puts a token in it in the initial marking.
+  PlaceId add_place(const std::string& name, bool marked = false);
+
+  TransitionId add_transition(const std::string& name);
+
+  /// Arc place -> transition (p becomes an input place of t).
+  void add_input_arc(PlaceId p, TransitionId t);
+  /// Arc transition -> place (p becomes an output place of t).
+  void add_output_arc(TransitionId t, PlaceId p);
+
+  /// Convenience: declares •t and t• wholesale.
+  void connect(TransitionId t, const std::vector<PlaceId>& pre,
+               const std::vector<PlaceId>& post);
+
+  [[nodiscard]] PlaceId place_id(const std::string& name) const;
+  [[nodiscard]] TransitionId transition_id(const std::string& name) const;
+  [[nodiscard]] bool has_place(const std::string& name) const {
+    return place_index_.contains(name);
+  }
+  [[nodiscard]] bool has_transition(const std::string& name) const {
+    return transition_index_.contains(name);
+  }
+  [[nodiscard]] std::size_t place_count() const { return place_names_.size(); }
+  [[nodiscard]] std::size_t transition_count() const {
+    return transition_names_.size();
+  }
+
+  void set_marked(PlaceId p, bool marked = true) { marked_.at(p) = marked; }
+
+  /// Validates and produces the immutable net. The builder may be reused
+  /// afterwards (build() does not consume it).
+  ///
+  /// `allow_empty_presets`: source transitions (•t = ∅) are always enabled
+  /// and break safeness immediately; they are rejected by default.
+  [[nodiscard]] PetriNet build(bool allow_empty_presets = false) const;
+
+ private:
+  struct Arc {
+    PlaceId place;
+    TransitionId transition;
+  };
+
+  std::string name_;
+  std::vector<std::string> place_names_;
+  std::vector<std::string> transition_names_;
+  std::vector<bool> marked_;
+  std::vector<Arc> input_arcs_;   // place -> transition
+  std::vector<Arc> output_arcs_;  // transition -> place
+  std::unordered_map<std::string, PlaceId> place_index_;
+  std::unordered_map<std::string, TransitionId> transition_index_;
+};
+
+}  // namespace gpo::petri

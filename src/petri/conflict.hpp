@@ -1,0 +1,90 @@
+// Structural conflict analysis (Definition 2.2 of the paper).
+//
+// Two transitions conflict when they share an input place. The *maximal
+// conflicting sets* (MCSs) are the sets closed under the conflict relation,
+// i.e. the connected components of the conflict graph; a component of size 1
+// is a conflict-free transition. The GPO engine and the anticipation-based
+// partial-order explorer both operate on MCSs, and the initial valid-set
+// family r0 of a Generalized Petri Net is the family of maximal independent
+// sets of the conflict graph (see DESIGN.md, decision 1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "petri/net.hpp"
+#include "util/bitset.hpp"
+
+namespace gpo::petri {
+
+enum class ConflictDefinition {
+  /// Definition 2.2 verbatim: conflict(t,u) <=> •t ∩ •u != ∅.
+  kSharedInput,
+  /// Refinement: a place in •t ∩ •u that both transitions also produce
+  /// (a mutual self-loop, e.g. the global run place of the safety-to-
+  /// deadlock reduction) cannot cause either to disable the other, so it is
+  /// not counted. Sound for stubborn sets and GPN scenarios; strictly finer
+  /// components. This is the default.
+  kIgnoreMutualSelfLoops,
+};
+
+class ConflictInfo {
+ public:
+  explicit ConflictInfo(
+      const PetriNet& net,
+      ConflictDefinition definition = ConflictDefinition::kIgnoreMutualSelfLoops);
+
+  /// conflict(t, u) — do t and u share an input place? (t conflicts with
+  /// itself by the definition; callers usually want t != u.)
+  [[nodiscard]] bool in_conflict(TransitionId t, TransitionId u) const {
+    return neighbors_[t].test(u) || t == u;
+  }
+
+  /// Transitions in conflict with t, excluding t itself, as a bitset over T.
+  [[nodiscard]] const util::Bitset& neighbors(TransitionId t) const {
+    return neighbors_[t];
+  }
+
+  /// Id of the maximal conflicting set (conflict-graph component) of t.
+  [[nodiscard]] std::size_t component_of(TransitionId t) const {
+    return component_of_[t];
+  }
+
+  /// All maximal conflicting sets; singleton components are conflict-free
+  /// transitions. Sorted ascending within each component.
+  [[nodiscard]] const std::vector<std::vector<TransitionId>>& components()
+      const {
+    return components_;
+  }
+
+  /// True if t belongs to a component with at least two transitions.
+  [[nodiscard]] bool has_choice(TransitionId t) const {
+    return components_[component_of_[t]].size() > 1;
+  }
+
+  /// Number of components with >= 2 transitions ("choice points").
+  [[nodiscard]] std::size_t choice_component_count() const;
+
+  /// Enumerates the maximal independent sets of the conflict graph restricted
+  /// to one component (Bron–Kerbosch on the complement graph). For a clique
+  /// component this is one singleton per transition.
+  [[nodiscard]] std::vector<util::Bitset> maximal_independent_sets(
+      std::size_t component) const;
+
+  /// Product over all components of maximal_independent_sets(): the family of
+  /// maximal conflict-free subsets of T, i.e. the explicit r0. Throws
+  /// std::length_error if the family would exceed `cap` sets.
+  [[nodiscard]] std::vector<util::Bitset> maximal_conflict_free_sets(
+      std::size_t cap = 1u << 22) const;
+
+  [[nodiscard]] std::size_t transition_count() const {
+    return neighbors_.size();
+  }
+
+ private:
+  std::vector<util::Bitset> neighbors_;          // over T, excludes self
+  std::vector<std::size_t> component_of_;        // T -> component id
+  std::vector<std::vector<TransitionId>> components_;
+};
+
+}  // namespace gpo::petri

@@ -1,0 +1,52 @@
+#include "petri/dot.hpp"
+
+namespace gpo::petri {
+
+namespace {
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+}  // namespace
+
+void write_net_dot(std::ostream& os, const PetriNet& net) {
+  os << "digraph \"" << escape(std::string(net.name())) << "\" {\n"
+     << "  rankdir=TB;\n";
+  for (PlaceId p = 0; p < net.place_count(); ++p) {
+    os << "  p" << p << " [shape=circle,label=\""
+       << escape(net.place(p).name) << "\"";
+    if (net.initial_marking().test(p)) os << ",style=filled,fillcolor=gray80";
+    os << "];\n";
+  }
+  for (TransitionId t = 0; t < net.transition_count(); ++t) {
+    os << "  t" << t << " [shape=box,height=0.2,label=\""
+       << escape(net.transition(t).name) << "\"];\n";
+  }
+  for (TransitionId t = 0; t < net.transition_count(); ++t) {
+    for (PlaceId p : net.transition(t).pre)
+      os << "  p" << p << " -> t" << t << ";\n";
+    for (PlaceId p : net.transition(t).post)
+      os << "  t" << t << " -> p" << p << ";\n";
+  }
+  os << "}\n";
+}
+
+void write_graph_dot(std::ostream& os, const LabeledGraph& g,
+                     const std::string& name) {
+  os << "digraph \"" << escape(name) << "\" {\n";
+  for (std::size_t i = 0; i < g.node_labels.size(); ++i) {
+    os << "  s" << i << " [label=\"" << escape(g.node_labels[i]) << "\"";
+    if (i == g.initial) os << ",peripheries=2";
+    os << "];\n";
+  }
+  for (const auto& e : g.edges)
+    os << "  s" << e.from << " -> s" << e.to << " [label=\""
+       << escape(e.label) << "\"];\n";
+  os << "}\n";
+}
+
+}  // namespace gpo::petri

@@ -1,0 +1,32 @@
+// Graphviz DOT rendering for nets and (small) reachability graphs; used by
+// the CLI (`julie --dot`) and handy when debugging models.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "petri/net.hpp"
+
+namespace gpo::petri {
+
+/// Writes the net structure: places as circles (filled when initially
+/// marked), transitions as boxes, the flow relation as edges.
+void write_net_dot(std::ostream& os, const PetriNet& net);
+
+/// A generic labeled graph, used for reachability-graph dumps.
+struct LabeledGraph {
+  struct Edge {
+    std::size_t from;
+    std::size_t to;
+    std::string label;
+  };
+  std::vector<std::string> node_labels;
+  std::vector<Edge> edges;
+  std::size_t initial = 0;
+};
+
+void write_graph_dot(std::ostream& os, const LabeledGraph& g,
+                     const std::string& name = "rg");
+
+}  // namespace gpo::petri

@@ -1,0 +1,397 @@
+#include "petri/structure.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace gpo::petri {
+
+using util::Bitset;
+
+bool is_siphon(const PetriNet& net, const Bitset& places) {
+  for (std::size_t p = places.find_first(); p < places.size();
+       p = places.find_next(p + 1)) {
+    for (TransitionId t : net.place(p).pre) {  // producers into S
+      if (!net.transition(t).pre_bits.intersects(places)) return false;
+    }
+  }
+  return true;
+}
+
+bool is_trap(const PetriNet& net, const Bitset& places) {
+  for (std::size_t p = places.find_first(); p < places.size();
+       p = places.find_next(p + 1)) {
+    for (TransitionId t : net.place(p).post) {  // consumers from S
+      if (!net.transition(t).post_bits.intersects(places)) return false;
+    }
+  }
+  return true;
+}
+
+Bitset maximal_siphon_within(const PetriNet& net, const Bitset& candidate) {
+  Bitset s = candidate;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t p = s.find_first(); p < s.size();
+         p = s.find_next(p + 1)) {
+      for (TransitionId t : net.place(p).pre) {
+        if (!net.transition(t).pre_bits.intersects(s)) {
+          s.reset(p);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return s;
+}
+
+Bitset maximal_trap_within(const PetriNet& net, const Bitset& candidate) {
+  Bitset s = candidate;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t p = s.find_first(); p < s.size();
+         p = s.find_next(p + 1)) {
+      for (TransitionId t : net.place(p).post) {
+        if (!net.transition(t).post_bits.intersects(s)) {
+          s.reset(p);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return s;
+}
+
+namespace {
+
+// Recursive completion: a siphon containing `s` must, for every member place
+// with a producer t not yet consuming from s, also contain some input place
+// of t. Branching over that choice enumerates every siphon containing the
+// seed; minimality is filtered afterwards.
+void complete_siphon(const PetriNet& net, Bitset& s,
+                     std::set<Bitset>& found, std::size_t max_nodes,
+                     std::size_t& nodes, bool& complete) {
+  if (++nodes > max_nodes) {
+    complete = false;
+    return;
+  }
+  // Find an unsatisfied (place, producer) obligation.
+  for (std::size_t p = s.find_first(); p < s.size();
+       p = s.find_next(p + 1)) {
+    for (TransitionId t : net.place(p).pre) {
+      const Bitset& pre = net.transition(t).pre_bits;
+      if (pre.intersects(s)) continue;
+      // Branch: add one input place of t.
+      for (std::size_t q = pre.find_first(); q < pre.size();
+           q = pre.find_next(q + 1)) {
+        s.set(q);
+        complete_siphon(net, s, found, max_nodes, nodes, complete);
+        s.reset(q);
+        if (!complete) return;
+      }
+      return;  // all extensions of this obligation explored
+    }
+  }
+  found.insert(s);  // no obligations left: s is a siphon
+}
+
+}  // namespace
+
+std::vector<Bitset> minimal_siphons(const PetriNet& net,
+                                    std::size_t max_count, bool* complete) {
+  bool all = true;
+  std::set<Bitset> found;
+  std::size_t nodes = 0;
+  const std::size_t max_nodes = max_count * 64;
+  for (PlaceId seed = 0; seed < net.place_count() && all; ++seed) {
+    Bitset s(net.place_count());
+    s.set(seed);
+    complete_siphon(net, s, found, max_nodes, nodes, all);
+    if (found.size() > max_count) {
+      all = false;
+      break;
+    }
+  }
+  // Keep only inclusion-minimal ones.
+  std::vector<Bitset> sorted(found.begin(), found.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Bitset& a, const Bitset& b) {
+              return a.count() < b.count();
+            });
+  std::vector<Bitset> minimal;
+  for (const Bitset& s : sorted) {
+    bool dominated = false;
+    for (const Bitset& m : minimal)
+      if (m.is_subset_of(s)) {
+        dominated = true;
+        break;
+      }
+    if (!dominated) minimal.push_back(s);
+  }
+  if (complete != nullptr) *complete = all;
+  return minimal;
+}
+
+bool is_free_choice(const PetriNet& net) {
+  // Extended free choice: transitions sharing an input place have equal
+  // presets.
+  for (PlaceId p = 0; p < net.place_count(); ++p) {
+    const auto& consumers = net.place(p).post;
+    for (std::size_t i = 1; i < consumers.size(); ++i)
+      if (net.transition(consumers[i]).pre_bits !=
+          net.transition(consumers[0]).pre_bits)
+        return false;
+  }
+  return true;
+}
+
+SiphonTrapResult siphon_trap_property(const PetriNet& net,
+                                      std::size_t max_siphons) {
+  SiphonTrapResult result;
+  result.holds = true;
+  auto siphons = minimal_siphons(net, max_siphons, &result.exhaustive);
+  for (const Bitset& s : siphons) {
+    Bitset trap = maximal_trap_within(net, s);
+    if (!trap.intersects(net.initial_marking())) {
+      result.holds = false;
+      result.counterexample_siphon = s;
+      return result;
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Invariants
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::int64_t gcd64(std::int64_t a, std::int64_t b) {
+  return std::gcd(a < 0 ? -a : a, b < 0 ? -b : b);
+}
+
+void normalize_row(std::vector<std::int64_t>& row) {
+  std::int64_t g = 0;
+  for (std::int64_t v : row) g = gcd64(g, v);
+  if (g > 1)
+    for (std::int64_t& v : row) v /= g;
+}
+
+/// Incidence column view: effect of transition t on place p.
+std::int64_t incidence(const PetriNet& net, PlaceId p, TransitionId t) {
+  std::int64_t v = 0;
+  if (net.transition(t).post_bits.test(p)) ++v;  // produces
+  if (net.transition(t).pre_bits.test(p)) --v;   // consumes
+  return v;
+}
+
+}  // namespace
+
+std::vector<PlaceInvariant> place_invariant_basis(const PetriNet& net) {
+  const std::size_t np = net.place_count();
+  const std::size_t nt = net.transition_count();
+
+  // Equations: for every transition t, sum_p y_p * C[p][t] = 0.
+  // Matrix A: nt rows x np columns.
+  std::vector<std::vector<std::int64_t>> a(
+      nt, std::vector<std::int64_t>(np, 0));
+  for (TransitionId t = 0; t < nt; ++t)
+    for (PlaceId p = 0; p < np; ++p) a[t][p] = incidence(net, p, t);
+
+  // Integer Gaussian elimination to row echelon form.
+  std::vector<std::size_t> pivot_col_of_row;
+  std::size_t row = 0;
+  std::vector<bool> is_pivot_col(np, false);
+  for (std::size_t col = 0; col < np && row < nt; ++col) {
+    std::size_t pr = row;
+    while (pr < nt && a[pr][col] == 0) ++pr;
+    if (pr == nt) continue;
+    std::swap(a[row], a[pr]);
+    for (std::size_t r = 0; r < nt; ++r) {
+      if (r == row || a[r][col] == 0) continue;
+      std::int64_t g = gcd64(a[r][col], a[row][col]);
+      std::int64_t f1 = a[row][col] / g;
+      std::int64_t f2 = a[r][col] / g;
+      for (std::size_t c = 0; c < np; ++c)
+        a[r][c] = a[r][c] * f1 - a[row][c] * f2;
+      normalize_row(a[r]);
+    }
+    pivot_col_of_row.push_back(col);
+    is_pivot_col[col] = true;
+    ++row;
+  }
+
+  // One basis vector per free column.
+  std::vector<PlaceInvariant> basis;
+  for (std::size_t fc = 0; fc < np; ++fc) {
+    if (is_pivot_col[fc]) continue;
+    // Solve with x[fc] = 1 and the other free columns 0, back-substituting
+    // through the pivot rows and rescaling on the fly to stay integral.
+    std::vector<std::int64_t> x(np, 0);
+    x[fc] = 1;
+    for (std::size_t r = pivot_col_of_row.size(); r-- > 0;) {
+      std::size_t pc = pivot_col_of_row[r];
+      std::int64_t sum = 0;
+      for (std::size_t c = 0; c < np; ++c)
+        if (c != pc) sum += a[r][c] * x[c];
+      std::int64_t piv = a[r][pc];
+      if (sum % piv != 0) {
+        // Rescale the whole solution so the division is exact.
+        std::int64_t g = gcd64(sum, piv);
+        std::int64_t mult = (piv < 0 ? -piv : piv) / g;
+        for (std::int64_t& v : x) v *= mult;
+        sum *= mult;
+      }
+      x[pc] = -sum / piv;
+    }
+    normalize_row(x);
+    PlaceInvariant inv;
+    inv.weights = std::move(x);
+    std::int64_t value = 0;
+    for (PlaceId p = 0; p < np; ++p)
+      if (net.initial_marking().test(p)) value += inv.weights[p];
+    inv.initial_value = value;
+    basis.push_back(std::move(inv));
+  }
+  return basis;
+}
+
+std::vector<PlaceInvariant> place_semiflows(const PetriNet& net,
+                                            std::size_t max_count,
+                                            bool* complete) {
+  const std::size_t np = net.place_count();
+  const std::size_t nt = net.transition_count();
+  bool all = true;
+
+  // Farkas: rows are [C-part | identity-part]; eliminate one transition
+  // column at a time keeping only nonnegative combinations.
+  struct FRow {
+    std::vector<std::int64_t> c;   // remaining transition columns
+    std::vector<std::int64_t> id;  // place weights
+  };
+  std::vector<FRow> rows;
+  rows.reserve(np);
+  for (PlaceId p = 0; p < np; ++p) {
+    FRow r;
+    r.c.resize(nt);
+    for (TransitionId t = 0; t < nt; ++t) r.c[t] = incidence(net, p, t);
+    r.id.assign(np, 0);
+    r.id[p] = 1;
+    rows.push_back(std::move(r));
+  }
+
+  auto normalize = [](FRow& r) {
+    std::int64_t g = 0;
+    for (std::int64_t v : r.c) g = gcd64(g, v);
+    for (std::int64_t v : r.id) g = gcd64(g, v);
+    if (g > 1) {
+      for (std::int64_t& v : r.c) v /= g;
+      for (std::int64_t& v : r.id) v /= g;
+    }
+  };
+
+  for (TransitionId t = 0; t < nt; ++t) {
+    std::vector<FRow> next;
+    std::vector<std::size_t> pos, neg;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (rows[i].c[t] == 0)
+        next.push_back(rows[i]);
+      else if (rows[i].c[t] > 0)
+        pos.push_back(i);
+      else
+        neg.push_back(i);
+    }
+    for (std::size_t i : pos) {
+      for (std::size_t j : neg) {
+        if (next.size() > max_count * 4) {
+          all = false;
+          break;
+        }
+        std::int64_t a = rows[i].c[t];
+        std::int64_t b = -rows[j].c[t];
+        std::int64_t g = gcd64(a, b);
+        std::int64_t fi = b / g, fj = a / g;
+        FRow combo;
+        combo.c.resize(nt);
+        combo.id.resize(np);
+        for (TransitionId k = 0; k < nt; ++k)
+          combo.c[k] = fi * rows[i].c[k] + fj * rows[j].c[k];
+        for (PlaceId p = 0; p < np; ++p)
+          combo.id[p] = fi * rows[i].id[p] + fj * rows[j].id[p];
+        normalize(combo);
+        next.push_back(std::move(combo));
+      }
+      if (!all) break;
+    }
+    rows = std::move(next);
+    if (!all) break;
+  }
+
+  // Surviving rows have zero C-part: their identity parts are semiflows.
+  // Keep minimal-support unique ones.
+  std::vector<PlaceInvariant> out;
+  std::set<std::vector<std::int64_t>> seen;
+  for (const FRow& r : rows) {
+    bool zero = std::all_of(r.id.begin(), r.id.end(),
+                            [](std::int64_t v) { return v == 0; });
+    if (zero || !seen.insert(r.id).second) continue;
+    PlaceInvariant inv;
+    inv.weights = r.id;
+    for (PlaceId p = 0; p < np; ++p)
+      if (net.initial_marking().test(p)) inv.initial_value += inv.weights[p];
+    out.push_back(std::move(inv));
+  }
+  // Minimal support filter.
+  auto support = [](const PlaceInvariant& inv) {
+    Bitset s(inv.weights.size());
+    for (std::size_t p = 0; p < inv.weights.size(); ++p)
+      if (inv.weights[p] != 0) s.set(p);
+    return s;
+  };
+  std::sort(out.begin(), out.end(),
+            [&](const PlaceInvariant& x, const PlaceInvariant& y) {
+              return support(x).count() < support(y).count();
+            });
+  std::vector<PlaceInvariant> minimal;
+  for (PlaceInvariant& inv : out) {
+    Bitset s = support(inv);
+    bool dominated = false;
+    for (const PlaceInvariant& m : minimal)
+      if (support(m).is_subset_of(s) && !(support(m) == s)) {
+        dominated = true;
+        break;
+      }
+    if (!dominated && minimal.size() < max_count)
+      minimal.push_back(std::move(inv));
+  }
+  if (complete != nullptr) *complete = all;
+  return minimal;
+}
+
+std::int64_t invariant_value(const PlaceInvariant& inv, const Marking& m) {
+  std::int64_t v = 0;
+  for (std::size_t p = m.find_first(); p < m.size(); p = m.find_next(p + 1))
+    v += inv.weights[p];
+  return v;
+}
+
+util::Bitset safeness_certified_places(
+    const PetriNet& net, const std::vector<PlaceInvariant>& semiflows) {
+  Bitset certified(net.place_count());
+  for (const PlaceInvariant& inv : semiflows) {
+    if (inv.initial_value != 1) continue;
+    bool nonneg = std::all_of(inv.weights.begin(), inv.weights.end(),
+                              [](std::int64_t w) { return w >= 0; });
+    if (!nonneg) continue;
+    for (PlaceId p = 0; p < net.place_count(); ++p)
+      if (inv.weights[p] >= 1) certified.set(p);
+  }
+  return certified;
+}
+
+}  // namespace gpo::petri

@@ -1,0 +1,101 @@
+// Structural (state-space-free) analysis of safe Petri nets: siphons, traps
+// and place invariants. These are the classical complements to reachability
+// analysis — cheap certificates that hold for *every* reachable marking:
+//
+//  * a siphon (•S ⊆ S•) that is empty stays empty forever — an unmarked
+//    siphon permanently disables all its output transitions, and every dead
+//    marking's unmarked-place set contains the preset of each transition;
+//  * a trap (S• ⊆ •S) that is marked stays marked forever;
+//  * the siphon–trap property ("every siphon contains an initially marked
+//    trap") gives a structural deadlock-freedom certificate for free-choice
+//    nets (Commoner's theorem) and a useful heuristic beyond them;
+//  * a place invariant y (an integer vector with y·C = 0 for the incidence
+//    matrix C) satisfies y·m = y·m0 for every reachable m; nonnegative
+//    invariants (P-semiflows, computed with the Farkas algorithm) with
+//    y·m0 = 1 certify 1-safeness of their support.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "petri/net.hpp"
+#include "util/bitset.hpp"
+
+namespace gpo::petri {
+
+/// Set-of-places predicate: •S ⊆ S• — every transition producing into S also
+/// consumes from S. The empty set is a siphon by convention.
+[[nodiscard]] bool is_siphon(const PetriNet& net, const util::Bitset& places);
+
+/// Set-of-places predicate: S• ⊆ •S — every transition consuming from S also
+/// produces into S.
+[[nodiscard]] bool is_trap(const PetriNet& net, const util::Bitset& places);
+
+/// The unique maximal siphon contained in `candidate` (greatest fixpoint:
+/// repeatedly drop places some producer of which does not consume from the
+/// set). May be empty.
+[[nodiscard]] util::Bitset maximal_siphon_within(const PetriNet& net,
+                                                 const util::Bitset& candidate);
+
+/// The unique maximal trap contained in `candidate`.
+[[nodiscard]] util::Bitset maximal_trap_within(const PetriNet& net,
+                                               const util::Bitset& candidate);
+
+/// Enumerates minimal (inclusion-wise) nonempty siphons, up to `max_count`
+/// of them. Exponential worst case — intended for the moderate nets of this
+/// repository; returns what it found and sets *complete accordingly.
+[[nodiscard]] std::vector<util::Bitset> minimal_siphons(
+    const PetriNet& net, std::size_t max_count = 4096,
+    bool* complete = nullptr);
+
+/// True when every transition's conflict cluster is free-choice: whenever
+/// •t ∩ •u != ∅ then •t = •u. Precondition for Commoner's theorem.
+[[nodiscard]] bool is_free_choice(const PetriNet& net);
+
+struct SiphonTrapResult {
+  /// Every minimal siphon contains a trap marked at m0.
+  bool holds = false;
+  /// A siphon violating the property (no marked trap inside), if any.
+  std::optional<util::Bitset> counterexample_siphon;
+  /// Whether the minimal-siphon enumeration was exhaustive; if not, holds
+  /// refers only to the enumerated ones.
+  bool exhaustive = true;
+};
+
+/// The siphon–trap check. For free-choice nets (is_free_choice), holds ==
+/// true implies deadlock freedom (Commoner); for general nets it remains a
+/// sufficient condition for every siphon staying marked.
+[[nodiscard]] SiphonTrapResult siphon_trap_property(const PetriNet& net,
+                                                    std::size_t max_siphons =
+                                                        4096);
+
+/// An integer place vector with y·C = 0: y·m is constant over reachability.
+struct PlaceInvariant {
+  std::vector<std::int64_t> weights;  // indexed by place
+  /// y·m0 — the conserved quantity.
+  std::int64_t initial_value = 0;
+};
+
+/// A basis of the left integer null space of the incidence matrix
+/// (fraction-free Gaussian elimination). Entries may be negative.
+[[nodiscard]] std::vector<PlaceInvariant> place_invariant_basis(
+    const PetriNet& net);
+
+/// Minimal-support nonnegative invariants (P-semiflows) via the Farkas
+/// algorithm, capped at `max_count` rows to bound the classic intermediate
+/// blowup; sets *complete accordingly.
+[[nodiscard]] std::vector<PlaceInvariant> place_semiflows(
+    const PetriNet& net, std::size_t max_count = 4096,
+    bool* complete = nullptr);
+
+/// Evaluates y·m.
+[[nodiscard]] std::int64_t invariant_value(const PlaceInvariant& inv,
+                                           const Marking& m);
+
+/// Places certified 1-safe by some semiflow with weight(p) >= 1 and
+/// y·m0 == 1 (every reachable marking then puts at most one token there).
+[[nodiscard]] util::Bitset safeness_certified_places(
+    const PetriNet& net, const std::vector<PlaceInvariant>& semiflows);
+
+}  // namespace gpo::petri

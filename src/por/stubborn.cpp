@@ -1,0 +1,200 @@
+#include "por/stubborn.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "util/stopwatch.hpp"
+
+namespace gpo::por {
+
+using petri::Marking;
+using petri::PlaceId;
+using petri::TransitionId;
+
+std::vector<TransitionId> stubborn_enabled_set(
+    const petri::PetriNet& net, const petri::ConflictInfo& conflicts,
+    const Marking& m, const std::vector<TransitionId>& seeds) {
+  const std::size_t nt = net.transition_count();
+  util::Bitset in_set(nt);
+  std::vector<TransitionId> work;
+
+  auto add = [&](TransitionId t) {
+    if (!in_set.test(t)) {
+      in_set.set(t);
+      work.push_back(t);
+    }
+  };
+  for (TransitionId t : seeds) add(t);
+
+  while (!work.empty()) {
+    TransitionId t = work.back();
+    work.pop_back();
+    if (net.enabled(t, m)) {
+      // (D2) everything that could steal a token from •t must be inside.
+      const util::Bitset& nb = conflicts.neighbors(t);
+      for (std::size_t u = nb.find_first(); u < nt; u = nb.find_next(u + 1))
+        add(static_cast<TransitionId>(u));
+    } else {
+      // (D1) pick the unmarked input place with the fewest producers as the
+      // scapegoat; all its producers join the set.
+      const auto& tr = net.transition(t);
+      PlaceId scapegoat = petri::kInvalidPlace;
+      std::size_t best = SIZE_MAX;
+      for (PlaceId p : tr.pre) {
+        if (m.test(p)) continue;
+        if (net.place(p).pre.size() < best) {
+          best = net.place(p).pre.size();
+          scapegoat = p;
+        }
+      }
+      // `t` is disabled, so an unmarked input place exists.
+      for (TransitionId producer : net.place(scapegoat).pre) add(producer);
+    }
+  }
+
+  std::vector<TransitionId> enabled;
+  for (std::size_t t = in_set.find_first(); t < nt;
+       t = in_set.find_next(t + 1))
+    if (net.enabled(static_cast<TransitionId>(t), m))
+      enabled.push_back(static_cast<TransitionId>(t));
+  return enabled;
+}
+
+StubbornExplorer::StubbornExplorer(const petri::PetriNet& net,
+                                   StubbornOptions options)
+    : net_(net), conflicts_(net), options_(options) {}
+
+std::vector<TransitionId> StubbornExplorer::ample_set(const Marking& m) const {
+  std::vector<TransitionId> enabled = net_.enabled_transitions(m);
+  if (enabled.empty()) return enabled;
+
+  switch (options_.strategy) {
+    case SeedStrategy::kFirstEnabled:
+      return stubborn_enabled_set(net_, conflicts_, m, {enabled.front()});
+    case SeedStrategy::kWholeConflictSet: {
+      std::size_t comp = conflicts_.component_of(enabled.front());
+      return stubborn_enabled_set(net_, conflicts_, m,
+                                  conflicts_.components()[comp]);
+    }
+    case SeedStrategy::kBestOverSeeds: {
+      std::vector<TransitionId> best;
+      for (TransitionId seed : enabled) {
+        auto candidate = stubborn_enabled_set(net_, conflicts_, m, {seed});
+        if (best.empty() || candidate.size() < best.size())
+          best = std::move(candidate);
+        if (best.size() == 1) break;  // cannot do better
+      }
+      return best;
+    }
+  }
+  return enabled;  // unreachable
+}
+
+reach::ExplorerResult StubbornExplorer::explore() const {
+  return explore_from({net_.initial_marking()});
+}
+
+reach::ExplorerResult StubbornExplorer::explore_from(
+    const std::vector<Marking>& roots) const {
+  reach::ExplorerResult result;
+  result.fireable_transitions = util::Bitset(net_.transition_count());
+  util::Stopwatch timer;
+
+  std::unordered_map<Marking, std::size_t> index;
+  std::vector<Marking> states;
+  struct Breadcrumb {
+    std::size_t parent;
+    TransitionId via;
+  };
+  std::vector<Breadcrumb> breadcrumbs;
+
+  auto intern = [&](const Marking& m, std::size_t parent,
+                    TransitionId via) -> std::pair<std::size_t, bool> {
+    auto [it, inserted] = index.try_emplace(m, states.size());
+    if (inserted) {
+      states.push_back(m);
+      breadcrumbs.push_back({parent, via});
+    }
+    return {it->second, inserted};
+  };
+
+  auto reconstruct = [&](std::size_t s) {
+    std::vector<TransitionId> seq;
+    while (breadcrumbs[s].via != petri::kInvalidTransition) {
+      seq.push_back(breadcrumbs[s].via);
+      s = breadcrumbs[s].parent;
+    }
+    std::reverse(seq.begin(), seq.end());
+    return seq;
+  };
+
+  std::deque<std::size_t> frontier;
+  auto inspect = [&](std::size_t s) -> bool {
+    if (net_.is_deadlocked(states[s]) &&
+        (!options_.deadlock_filter || options_.deadlock_filter(states[s]))) {
+      ++result.deadlock_count;
+      if (!result.deadlock_found) {
+        result.deadlock_found = true;
+        result.first_deadlock = states[s];
+        result.counterexample = reconstruct(s);
+      }
+      if (options_.stop_at_first_deadlock) return true;
+    }
+    return false;
+  };
+
+  bool stopped = false;
+  for (const Marking& root : roots) {
+    auto [idx, fresh] = intern(root, 0, petri::kInvalidTransition);
+    if (fresh) {
+      frontier.push_back(idx);
+      stopped = inspect(idx);
+      if (stopped) break;
+    }
+  }
+
+  while (!frontier.empty() && !stopped) {
+    if (states.size() > options_.max_states ||
+        timer.elapsed_seconds() > options_.max_seconds) {
+      result.limit_hit = true;
+      break;
+    }
+    std::size_t s = frontier.front();
+    frontier.pop_front();
+    const Marking m = states[s];
+
+    for (TransitionId t : net_.enabled_transitions(m))
+      result.fireable_transitions.set(t);
+    for (TransitionId t : ample_set(m)) {
+      bool unsafe = false;
+      Marking next = net_.fire(t, m, &unsafe);
+      if (unsafe && !result.safeness_violation) {
+        result.safeness_violation = true;
+        result.unsafe_source = m;
+      }
+      ++result.edge_count;
+      auto [idx, fresh] = intern(next, s, t);
+      if (options_.build_graph)
+        result.graph.edges.push_back({s, idx, net_.transition(t).name});
+      if (fresh) {
+        frontier.push_back(idx);
+        if (inspect(idx)) {
+          stopped = true;
+          break;
+        }
+      }
+    }
+  }
+
+  result.state_count = states.size();
+  result.seconds = timer.elapsed_seconds();
+  if (options_.build_graph) {
+    result.graph.initial = 0;
+    for (const Marking& m : states)
+      result.graph.node_labels.push_back(reach::marking_to_string(net_, m));
+  }
+  return result;
+}
+
+}  // namespace gpo::por

@@ -1,0 +1,131 @@
+#include "reach/explorer.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+#include "util/stopwatch.hpp"
+
+namespace gpo::reach {
+
+using petri::Marking;
+using petri::TransitionId;
+
+std::string marking_to_string(const petri::PetriNet& net, const Marking& m) {
+  std::string s = "{";
+  bool first = true;
+  for (std::size_t p = m.find_first(); p < m.size(); p = m.find_next(p + 1)) {
+    if (!first) s += ',';
+    s += net.place(static_cast<petri::PlaceId>(p)).name;
+    first = false;
+  }
+  return s + "}";
+}
+
+ExplorerResult ExplicitExplorer::explore() const {
+  ExplorerResult result;
+  result.fireable_transitions = util::Bitset(net_.transition_count());
+  util::Stopwatch timer;
+
+  // Index of each stored marking, plus (parent, transition) breadcrumbs for
+  // counterexample reconstruction.
+  std::unordered_map<Marking, std::size_t> index;
+  std::vector<Marking> states;
+  struct Breadcrumb {
+    std::size_t parent;
+    TransitionId via;
+  };
+  std::vector<Breadcrumb> breadcrumbs;
+
+  auto intern = [&](const Marking& m, std::size_t parent,
+                    TransitionId via) -> std::pair<std::size_t, bool> {
+    auto [it, inserted] = index.try_emplace(m, states.size());
+    if (inserted) {
+      states.push_back(m);
+      breadcrumbs.push_back({parent, via});
+    }
+    return {it->second, inserted};
+  };
+
+  auto reconstruct = [&](std::size_t s) {
+    std::vector<TransitionId> seq;
+    while (s != 0) {
+      seq.push_back(breadcrumbs[s].via);
+      s = breadcrumbs[s].parent;
+    }
+    std::reverse(seq.begin(), seq.end());
+    return seq;
+  };
+
+  std::deque<std::size_t> frontier;
+  intern(net_.initial_marking(), 0, petri::kInvalidTransition);
+  frontier.push_back(0);
+
+  auto inspect = [&](std::size_t s) -> bool {
+    // Returns true when the search should stop.
+    const Marking& m = states[s];
+    if (net_.is_deadlocked(m)) {
+      ++result.deadlock_count;
+      if (!result.deadlock_found) {
+        result.deadlock_found = true;
+        result.first_deadlock = m;
+        result.counterexample = reconstruct(s);
+      }
+      if (options_.stop_at_first_deadlock) return true;
+    }
+    if (options_.bad_state && options_.bad_state(m)) {
+      if (!result.bad_state_found) {
+        result.bad_state_found = true;
+        result.first_bad_state = m;
+      }
+      if (options_.stop_at_first_deadlock) return true;
+    }
+    return false;
+  };
+
+  bool stopped = inspect(0);
+
+  while (!frontier.empty() && !stopped) {
+    if (states.size() > options_.max_states ||
+        timer.elapsed_seconds() > options_.max_seconds) {
+      result.limit_hit = true;
+      break;
+    }
+    std::size_t s = frontier.front();
+    frontier.pop_front();
+    const Marking m = states[s];  // copy: `states` may reallocate below
+
+    for (TransitionId t = 0; t < net_.transition_count(); ++t) {
+      if (!net_.enabled(t, m)) continue;
+      result.fireable_transitions.set(t);
+      bool unsafe = false;
+      Marking next = net_.fire(t, m, &unsafe);
+      if (unsafe && !result.safeness_violation) {
+        result.safeness_violation = true;
+        result.unsafe_source = m;
+      }
+      ++result.edge_count;
+      auto [idx, fresh] = intern(next, s, t);
+      if (options_.build_graph)
+        result.graph.edges.push_back({s, idx, net_.transition(t).name});
+      if (fresh) {
+        frontier.push_back(idx);
+        if (inspect(idx)) {
+          stopped = true;
+          break;
+        }
+      }
+    }
+  }
+
+  result.state_count = states.size();
+  result.seconds = timer.elapsed_seconds();
+  if (options_.build_graph) {
+    result.graph.initial = 0;
+    result.graph.node_labels.reserve(states.size());
+    for (const Marking& m : states)
+      result.graph.node_labels.push_back(marking_to_string(net_, m));
+  }
+  return result;
+}
+
+}  // namespace gpo::reach

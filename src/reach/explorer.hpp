@@ -1,0 +1,86 @@
+// Conventional exhaustive reachability analysis (Section 2.2 of the paper):
+// explicit enumeration of every reachable marking under interleaving
+// semantics. This engine is the ground truth the reduced engines are
+// validated against, and produces the "States" column of Table 1.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "petri/dot.hpp"
+#include "petri/net.hpp"
+#include "util/bitset.hpp"
+
+namespace gpo::reach {
+
+struct ExplorerOptions {
+  /// Abort once this many distinct markings were stored.
+  std::size_t max_states = std::numeric_limits<std::size_t>::max();
+  /// Abort after this much wall-clock time.
+  double max_seconds = std::numeric_limits<double>::infinity();
+  /// Stop the search at the first deadlock instead of exploring everything.
+  bool stop_at_first_deadlock = false;
+  /// Record the full reachability graph (states + labeled edges). Only
+  /// sensible for small nets; used by tests and DOT dumps.
+  bool build_graph = false;
+  /// Optional safety property: exploration reports (and, with
+  /// stop_at_first_deadlock, stops at) markings where this returns true.
+  std::function<bool(const petri::Marking&)> bad_state;
+};
+
+struct ExplorerResult {
+  std::size_t state_count = 0;
+  std::size_t edge_count = 0;
+  std::size_t deadlock_count = 0;
+
+  bool deadlock_found = false;
+  std::optional<petri::Marking> first_deadlock;
+  /// Firing sequence from the initial marking to first_deadlock.
+  std::vector<petri::TransitionId> counterexample;
+
+  bool bad_state_found = false;
+  std::optional<petri::Marking> first_bad_state;
+
+  /// The net fired a token into an already-marked place: not 1-safe.
+  bool safeness_violation = false;
+  std::optional<petri::Marking> unsafe_source;
+
+  /// Transitions enabled in at least one explored marking. For the
+  /// exhaustive engine after a complete run, the complement is exactly the
+  /// set of dead (never fireable) transitions — the quasi-liveness check of
+  /// Section 2.1. For the reduced engines (which reuse this result type)
+  /// it is a sound lower bound only.
+  util::Bitset fireable_transitions;
+
+  /// True when max_states/max_seconds stopped the search early.
+  bool limit_hit = false;
+  double seconds = 0.0;
+
+  /// Populated when ExplorerOptions::build_graph is set. Node labels are
+  /// marking renderings; edge labels transition names.
+  petri::LabeledGraph graph;
+};
+
+/// Explores the reachable markings of a safe Petri net breadth-first.
+/// The instance is single-use per call but stateless between calls.
+class ExplicitExplorer {
+ public:
+  explicit ExplicitExplorer(const petri::PetriNet& net,
+                            ExplorerOptions options = {})
+      : net_(net), options_(std::move(options)) {}
+
+  [[nodiscard]] ExplorerResult explore() const;
+
+ private:
+  const petri::PetriNet& net_;
+  ExplorerOptions options_;
+};
+
+/// Renders a marking as the set of marked place names, e.g. "{p0,p3}".
+[[nodiscard]] std::string marking_to_string(const petri::PetriNet& net,
+                                            const petri::Marking& m);
+
+}  // namespace gpo::reach

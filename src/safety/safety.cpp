@@ -1,0 +1,153 @@
+#include "safety/safety.hpp"
+
+#include <algorithm>
+
+#include "bdd/symbolic_reach.hpp"
+#include "core/gpo.hpp"
+#include "petri/builder.hpp"
+#include "por/stubborn.hpp"
+#include "reach/explorer.hpp"
+
+namespace gpo::safety {
+
+using petri::Marking;
+using petri::PetriNet;
+using petri::PlaceId;
+using petri::TransitionId;
+
+ReducedNet reduce_safety_to_deadlock(const PetriNet& net,
+                                     const SafetyProperty& prop) {
+  if (prop.never_all_marked.empty())
+    throw petri::NetError("safety property must name at least one place");
+  for (PlaceId p : prop.never_all_marked)
+    if (p >= net.place_count())
+      throw petri::NetError("safety property names an unknown place");
+
+  petri::NetBuilder b(std::string(net.name()) + "_safety");
+  // Clone the original structure; ids are preserved by insertion order.
+  for (PlaceId p = 0; p < net.place_count(); ++p)
+    b.add_place(net.place(p).name, net.initial_marking().test(p));
+  for (TransitionId t = 0; t < net.transition_count(); ++t)
+    b.add_transition(net.transition(t).name);
+  for (TransitionId t = 0; t < net.transition_count(); ++t) {
+    for (PlaceId p : net.transition(t).pre) b.add_input_arc(p, t);
+    for (PlaceId p : net.transition(t).post) b.add_output_arc(t, p);
+  }
+
+  PlaceId run = b.add_place("__run", /*marked=*/true);
+  PlaceId violation = b.add_place("__violation");
+  // Every original transition needs (and returns) the run token.
+  for (TransitionId t = 0; t < net.transition_count(); ++t) {
+    b.add_input_arc(run, t);
+    b.add_output_arc(t, run);
+  }
+  // The monitor observes the bad submarking without disturbing it and
+  // retires the run token: afterwards nothing can fire.
+  TransitionId monitor = b.add_transition("__monitor");
+  for (PlaceId p : prop.never_all_marked) {
+    b.add_input_arc(p, monitor);
+    b.add_output_arc(monitor, p);
+  }
+  b.add_input_arc(run, monitor);
+  b.add_output_arc(monitor, violation);
+
+  return ReducedNet{b.build(), run, violation, monitor};
+}
+
+namespace {
+
+Marking strip_bookkeeping(const Marking& reduced_marking,
+                          std::size_t original_places) {
+  Marking m(original_places);
+  for (std::size_t p = 0; p < original_places; ++p)
+    if (reduced_marking.test(p)) m.set(p);
+  return m;
+}
+
+}  // namespace
+
+SafetyResult check_safety(const PetriNet& net, const SafetyProperty& prop,
+                          const SafetyOptions& options) {
+  ReducedNet reduced = reduce_safety_to_deadlock(net, prop);
+  SafetyResult result;
+  const PlaceId violation = reduced.violation_place;
+
+  switch (options.engine) {
+    case Engine::kExplicit: {
+      // The explicit engine can check the predicate directly on the original
+      // net — no reduction overhead, and it doubles as the ground truth the
+      // reduction is validated against.
+      reach::ExplorerOptions opt;
+      opt.max_states = options.max_states;
+      opt.max_seconds = options.max_seconds;
+      opt.stop_at_first_deadlock = true;  // stop at first hit
+      opt.bad_state = [&](const Marking& m) {
+        return std::all_of(prop.never_all_marked.begin(),
+                           prop.never_all_marked.end(),
+                           [&](PlaceId p) { return m.test(p); });
+      };
+      auto r = reach::ExplicitExplorer(net, opt).explore();
+      result.violated = r.bad_state_found;
+      if (r.first_bad_state) result.witness = *r.first_bad_state;
+      result.limit_hit = r.limit_hit;
+      result.seconds = r.seconds;
+      result.states_explored = r.state_count;
+      return result;
+    }
+    case Engine::kStubborn: {
+      por::StubbornOptions opt;
+      opt.max_states = options.max_states;
+      opt.max_seconds = options.max_seconds;
+      opt.stop_at_first_deadlock = true;
+      opt.deadlock_filter = [violation](const Marking& m) {
+        return m.test(violation);
+      };
+      auto r = por::StubbornExplorer(reduced.net, opt).explore();
+      result.violated = r.deadlock_found;
+      if (r.first_deadlock)
+        result.witness = strip_bookkeeping(*r.first_deadlock,
+                                           net.place_count());
+      result.limit_hit = r.limit_hit;
+      result.seconds = r.seconds;
+      result.states_explored = r.state_count;
+      return result;
+    }
+    case Engine::kSymbolic: {
+      bdd::SymbolicOptions opt;
+      opt.max_seconds = options.max_seconds;
+      opt.required_deadlock_place = violation;
+      auto r = bdd::SymbolicReachability(reduced.net, opt).analyze();
+      result.violated = r.deadlock_found;
+      if (r.deadlock_witness)
+        result.witness = strip_bookkeeping(*r.deadlock_witness,
+                                           net.place_count());
+      result.limit_hit = r.blowup;
+      result.seconds = r.seconds;
+      result.states_explored = static_cast<std::size_t>(r.state_count);
+      return result;
+    }
+    case Engine::kGpo:
+    case Engine::kGpoBdd: {
+      core::GpoOptions opt;
+      opt.max_states = options.max_states;
+      opt.max_seconds = options.max_seconds;
+      opt.stop_at_first_deadlock = true;
+      opt.required_witness_place = violation;
+      auto kind = options.engine == Engine::kGpo
+                      ? core::FamilyKind::kExplicit
+                      : core::FamilyKind::kBdd;
+      auto r = core::run_gpo(reduced.net, kind, opt);
+      result.violated = r.deadlock_found;
+      if (r.deadlock_witness)
+        result.witness = strip_bookkeeping(*r.deadlock_witness,
+                                           net.place_count());
+      result.limit_hit = r.limit_hit;
+      result.seconds = r.seconds;
+      result.states_explored = r.state_count;
+      return result;
+    }
+  }
+  return result;  // unreachable
+}
+
+}  // namespace gpo::safety

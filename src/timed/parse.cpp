@@ -1,0 +1,108 @@
+#include "timed/parse.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "parser/net_format.hpp"
+
+namespace gpo::timed {
+
+namespace {
+
+struct TimeLine {
+  std::size_t lineno;
+  std::string transition;
+  TimeInterval interval;
+};
+
+/// Splits the document into base .net text and timing annotations.
+std::pair<std::string, std::vector<TimeLine>> split_time_lines(
+    std::string_view text) {
+  std::string base;
+  std::vector<TimeLine> times;
+  std::size_t lineno = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++lineno;
+
+    std::istringstream ss{std::string(line)};
+    std::string kw;
+    ss >> kw;
+    if (kw != "time") {
+      base += line;
+      base += '\n';
+      continue;
+    }
+    std::string name, eft_s, lft_s;
+    if (!(ss >> name >> eft_s >> lft_s))
+      throw parser::ParseError(lineno,
+                               "expected: time <transition> <eft> <lft|inf>");
+    std::string rest;
+    if (ss >> rest && rest[0] != '#' && rest[0] != ';')
+      throw parser::ParseError(lineno, "trailing tokens after time line");
+    TimeLine tl;
+    tl.lineno = lineno;
+    tl.transition = name;
+    try {
+      tl.interval.eft = std::stoll(eft_s);
+      tl.interval.lft =
+          lft_s == "inf" ? Bound::inf() : Bound{std::stoll(lft_s), false};
+    } catch (const std::exception&) {
+      throw parser::ParseError(lineno, "malformed time bound");
+    }
+    times.push_back(std::move(tl));
+  }
+  return {std::move(base), std::move(times)};
+}
+
+}  // namespace
+
+TimedNet parse_timed_net(std::string_view text) {
+  auto [base, times] = split_time_lines(text);
+  petri::PetriNet net = parser::parse_net(base);
+  std::vector<TimeInterval> intervals(net.transition_count());
+  std::vector<bool> annotated(net.transition_count(), false);
+  for (const TimeLine& tl : times) {
+    petri::TransitionId t = net.find_transition(tl.transition);
+    if (t == petri::kInvalidTransition)
+      throw parser::ParseError(tl.lineno,
+                               "time line names unknown transition '" +
+                                   tl.transition + "'");
+    if (annotated[t])
+      throw parser::ParseError(tl.lineno, "duplicate time line for '" +
+                                              tl.transition + "'");
+    annotated[t] = true;
+    intervals[t] = tl.interval;
+  }
+  return TimedNet(std::move(net), std::move(intervals));
+}
+
+TimedNet parse_timed_net_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open timed net file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_timed_net(ss.str());
+}
+
+std::string timed_net_to_string(const TimedNet& tnet) {
+  std::string out = parser::net_to_string(tnet.net());
+  for (petri::TransitionId t = 0; t < tnet.net().transition_count(); ++t) {
+    const TimeInterval& iv = tnet.interval(t);
+    if (iv.eft == 0 && iv.lft.infinite) continue;  // default
+    out += "time " + tnet.net().transition(t).name + " " +
+           std::to_string(iv.eft) + " " +
+           (iv.lft.infinite ? std::string("inf")
+                            : std::to_string(iv.lft.value)) +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace gpo::timed

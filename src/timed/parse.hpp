@@ -1,0 +1,29 @@
+// Textual format for Time Petri nets: the plain .net language
+// (parser/net_format.hpp) extended with timing annotation lines
+//
+//   time <transition> <eft> <lft|inf>
+//
+// which may appear anywhere after the base declarations. Unannotated
+// transitions default to [0, inf) — i.e. untimed behaviour.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "parser/net_format.hpp"  // ParseError
+#include "timed/timed_net.hpp"
+
+namespace gpo::timed {
+
+/// Parses a .net document with optional `time` lines. Throws
+/// parser::ParseError / petri::NetError like the base parser, and
+/// std::invalid_argument for inconsistent intervals.
+[[nodiscard]] TimedNet parse_timed_net(std::string_view text);
+
+[[nodiscard]] TimedNet parse_timed_net_file(const std::string& path);
+
+/// Serializes net + intervals in the format above (omitting [0, inf)
+/// defaults).
+[[nodiscard]] std::string timed_net_to_string(const TimedNet& tnet);
+
+}  // namespace gpo::timed

@@ -1,0 +1,260 @@
+#include "timed/timed_net.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/hash.hpp"
+#include "util/stopwatch.hpp"
+
+namespace gpo::timed {
+
+using petri::Marking;
+using petri::TransitionId;
+
+TimedNet::TimedNet(petri::PetriNet net, std::vector<TimeInterval> intervals)
+    : net_(std::move(net)), intervals_(std::move(intervals)) {
+  if (intervals_.size() != net_.transition_count())
+    throw std::invalid_argument(
+        "TimedNet: one interval per transition required");
+  for (const TimeInterval& iv : intervals_) {
+    if (iv.eft < 0)
+      throw std::invalid_argument("TimedNet: negative earliest firing time");
+    if (!iv.lft.infinite && iv.lft.value < iv.eft)
+      throw std::invalid_argument("TimedNet: lft < eft");
+  }
+}
+
+std::size_t StateClass::hash() const {
+  std::size_t h = marking.hash();
+  for (TransitionId t : enabled) util::hash_combine(h, t);
+  for (std::int64_t v : dbm)
+    util::hash_combine(h, static_cast<std::size_t>(util::mix64(
+                              static_cast<std::uint64_t>(v))));
+  return h;
+}
+
+namespace {
+
+/// Square DBM view over a flat vector; n includes the reference variable 0.
+class Dbm {
+ public:
+  Dbm(std::vector<std::int64_t>& data, std::size_t n) : d_(data), n_(n) {}
+
+  std::int64_t& at(std::size_t i, std::size_t j) { return d_[i * n_ + j]; }
+  [[nodiscard]] std::int64_t at(std::size_t i, std::size_t j) const {
+    return d_[i * n_ + j];
+  }
+
+  static std::int64_t add(std::int64_t a, std::int64_t b) {
+    if (a >= kDbmInf || b >= kDbmInf) return kDbmInf;
+    return a + b;
+  }
+
+  /// Floyd–Warshall closure; returns false when inconsistent (negative
+  /// cycle).
+  bool close() {
+    for (std::size_t k = 0; k < n_; ++k)
+      for (std::size_t i = 0; i < n_; ++i) {
+        if (at(i, k) >= kDbmInf) continue;
+        for (std::size_t j = 0; j < n_; ++j) {
+          std::int64_t via = add(at(i, k), at(k, j));
+          if (via < at(i, j)) at(i, j) = via;
+        }
+      }
+    for (std::size_t i = 0; i < n_; ++i)
+      if (at(i, i) < 0) return false;
+    return true;
+  }
+
+ private:
+  std::vector<std::int64_t>& d_;
+  std::size_t n_;
+};
+
+}  // namespace
+
+StateClassExplorer::StateClassExplorer(const TimedNet& tnet,
+                                       TimedOptions options)
+    : tnet_(tnet), options_(options) {}
+
+StateClass StateClassExplorer::initial_class() const {
+  const petri::PetriNet& net = tnet_.net();
+  StateClass c;
+  c.marking = net.initial_marking();
+  c.enabled = net.enabled_transitions(c.marking);
+  const std::size_t n = c.enabled.size() + 1;
+  c.dbm.assign(n * n, kDbmInf);
+  Dbm d(c.dbm, n);
+  for (std::size_t i = 0; i < n; ++i) d.at(i, i) = 0;
+  for (std::size_t i = 0; i < c.enabled.size(); ++i) {
+    const TimeInterval& iv = tnet_.interval(c.enabled[i]);
+    d.at(i + 1, 0) = iv.lft.infinite ? kDbmInf : iv.lft.value;
+    d.at(0, i + 1) = -iv.eft;
+  }
+  d.close();
+  return c;
+}
+
+std::vector<TransitionId> StateClassExplorer::firable(
+    const StateClass& c) const {
+  std::vector<TransitionId> out;
+  const std::size_t k = c.enabled.size();
+  const std::size_t n = k + 1;
+  for (std::size_t f = 0; f < k; ++f) {
+    // Restrict with theta_f <= theta_j for every other enabled j and test
+    // consistency.
+    std::vector<std::int64_t> copy = c.dbm;
+    Dbm d(copy, n);
+    for (std::size_t j = 0; j < k; ++j)
+      if (j != f) d.at(f + 1, j + 1) = std::min(d.at(f + 1, j + 1),
+                                                std::int64_t{0});
+    if (d.close()) out.push_back(c.enabled[f]);
+  }
+  return out;
+}
+
+StateClass StateClassExplorer::fire(const StateClass& c,
+                                    TransitionId t) const {
+  const petri::PetriNet& net = tnet_.net();
+  const std::size_t k = c.enabled.size();
+  const std::size_t n = k + 1;
+  auto it = std::find(c.enabled.begin(), c.enabled.end(), t);
+  if (it == c.enabled.end())
+    throw std::invalid_argument("fire: transition not enabled in class");
+  const std::size_t f = static_cast<std::size_t>(it - c.enabled.begin());
+
+  // Constrained domain: t fires first.
+  std::vector<std::int64_t> constrained = c.dbm;
+  {
+    Dbm d(constrained, n);
+    for (std::size_t j = 0; j < k; ++j)
+      if (j != f) d.at(f + 1, j + 1) = std::min(d.at(f + 1, j + 1),
+                                                std::int64_t{0});
+    if (!d.close())
+      throw std::invalid_argument("fire: transition not firable in class");
+  }
+  Dbm dc(constrained, n);
+
+  // Successor marking, and the intermediate marking m - •t that decides
+  // which transitions count as newly enabled.
+  StateClass next;
+  next.marking = net.fire(t, c.marking);
+  Marking intermediate = c.marking;
+  intermediate -= net.transition(t).pre_bits;
+
+  next.enabled = net.enabled_transitions(next.marking);
+  const std::size_t k2 = next.enabled.size();
+  const std::size_t n2 = k2 + 1;
+  next.dbm.assign(n2 * n2, kDbmInf);
+  Dbm dn(next.dbm, n2);
+  for (std::size_t i = 0; i < n2; ++i) dn.at(i, i) = 0;
+
+  // Position of each persistent transition in the old class.
+  std::vector<std::ptrdiff_t> old_pos(k2, -1);
+  for (std::size_t i = 0; i < k2; ++i) {
+    TransitionId u = next.enabled[i];
+    bool newly = (u == t) || !net.enabled(u, intermediate);
+    if (newly) continue;
+    auto pos = std::find(c.enabled.begin(), c.enabled.end(), u);
+    if (pos != c.enabled.end()) old_pos[i] = pos - c.enabled.begin();
+  }
+
+  for (std::size_t i = 0; i < k2; ++i) {
+    if (old_pos[i] < 0) {
+      // Newly enabled: fresh static interval.
+      const TimeInterval& iv = tnet_.interval(next.enabled[i]);
+      dn.at(i + 1, 0) = iv.lft.infinite ? kDbmInf : iv.lft.value;
+      dn.at(0, i + 1) = -iv.eft;
+      continue;
+    }
+    // Persistent: theta' = theta - theta_f; bounds come from the
+    // constrained domain relative to the fired transition.
+    std::size_t oi = static_cast<std::size_t>(old_pos[i]) + 1;
+    dn.at(i + 1, 0) = dc.at(oi, f + 1);
+    dn.at(0, i + 1) = dc.at(f + 1, oi);
+    for (std::size_t j = 0; j < k2; ++j) {
+      if (j == i || old_pos[j] < 0) continue;
+      std::size_t oj = static_cast<std::size_t>(old_pos[j]) + 1;
+      dn.at(i + 1, j + 1) = dc.at(oi, oj);  // differences are shift-invariant
+    }
+  }
+  dn.close();
+  return next;
+}
+
+TimedResult StateClassExplorer::explore() const {
+  TimedResult result;
+  util::Stopwatch timer;
+  const petri::PetriNet& net = tnet_.net();
+
+  struct ClassHash {
+    std::size_t operator()(const StateClass& c) const { return c.hash(); }
+  };
+  std::unordered_map<StateClass, std::size_t, ClassHash> index;
+  std::vector<StateClass> classes;
+  struct Breadcrumb {
+    std::size_t parent;
+    TransitionId via;
+  };
+  std::vector<Breadcrumb> breadcrumbs;
+  std::unordered_map<Marking, bool> markings_seen;
+
+  auto intern = [&](StateClass&& c, std::size_t parent, TransitionId via) {
+    auto [it, inserted] = index.try_emplace(std::move(c), classes.size());
+    if (inserted) {
+      classes.push_back(it->first);
+      breadcrumbs.push_back({parent, via});
+      markings_seen.emplace(it->first.marking, true);
+    }
+    return std::pair<std::size_t, bool>{it->second, inserted};
+  };
+
+  auto reconstruct = [&](std::size_t s) {
+    std::vector<TransitionId> seq;
+    while (s != 0) {
+      seq.push_back(breadcrumbs[s].via);
+      s = breadcrumbs[s].parent;
+    }
+    std::reverse(seq.begin(), seq.end());
+    return seq;
+  };
+
+  std::deque<std::size_t> frontier;
+  intern(initial_class(), 0, petri::kInvalidTransition);
+  frontier.push_back(0);
+
+  while (!frontier.empty()) {
+    if (classes.size() > options_.max_classes ||
+        timer.elapsed_seconds() > options_.max_seconds) {
+      result.limit_hit = true;
+      break;
+    }
+    std::size_t ci = frontier.front();
+    frontier.pop_front();
+    const StateClass c = classes[ci];  // copy: `classes` may grow below
+
+    std::vector<TransitionId> fire_set = firable(c);
+    if (fire_set.empty()) {
+      if (!result.deadlock_found) {
+        result.deadlock_found = true;
+        result.deadlock_marking = c.marking;
+        result.counterexample = reconstruct(ci);
+      }
+      continue;
+    }
+    for (TransitionId t : fire_set) {
+      ++result.edge_count;
+      auto [idx, fresh] = intern(fire(c, t), ci, t);
+      if (fresh) frontier.push_back(idx);
+    }
+  }
+
+  result.class_count = classes.size();
+  result.distinct_markings = markings_seen.size();
+  result.seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace gpo::timed

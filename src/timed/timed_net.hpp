@@ -1,0 +1,122 @@
+// Time Petri nets — the extension the paper names as future work in its
+// conclusions ("efficient timing verification of concurrent systems, modeled
+// as Timed Petri nets", citing Verlind/de Jong/Lin DAC'96 and
+// Semenov/Yakovlev DAC'96).
+//
+// The model is Merlin–Farber: every transition carries a static firing
+// interval [eft, lft] — once continuously enabled for eft time units it may
+// fire, and it must fire (or be disabled) before lft elapses. Analysis uses
+// the Berthomieu–Diaz *state class graph*: a state class is a marking plus a
+// firing domain (a difference-bound constraint system over the remaining
+// firing delays of the enabled transitions), canonicalized by
+// all-pairs-shortest-path closure so that equal classes are detected
+// syntactically. Timing both prunes behaviour (a slow conflict competitor
+// can become unfirable) and can introduce timed deadlocks.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "petri/net.hpp"
+
+namespace gpo::timed {
+
+/// An integer time bound, possibly +infinity (for lft only).
+struct Bound {
+  std::int64_t value = 0;
+  bool infinite = false;
+
+  static Bound inf() { return Bound{0, true}; }
+  friend bool operator==(const Bound&, const Bound&) = default;
+};
+
+/// Static firing interval of one transition: eft <= delay <= lft.
+struct TimeInterval {
+  std::int64_t eft = 0;
+  Bound lft = Bound::inf();
+};
+
+/// A safe Petri net with one static interval per transition.
+class TimedNet {
+ public:
+  TimedNet(petri::PetriNet net, std::vector<TimeInterval> intervals);
+
+  [[nodiscard]] const petri::PetriNet& net() const { return net_; }
+  [[nodiscard]] const TimeInterval& interval(petri::TransitionId t) const {
+    return intervals_[t];
+  }
+
+ private:
+  petri::PetriNet net_;
+  std::vector<TimeInterval> intervals_;
+};
+
+/// A state class: a marking plus the canonical firing domain over the
+/// enabled transitions. `dbm` is indexed over `enabled` plus a 0 reference
+/// row/column: dbm[i][j] bounds theta_i - theta_j (theta_0 = 0), with
+/// kDbmInf as +infinity. Canonical (shortest-path closed) so equality is
+/// structural.
+struct StateClass {
+  petri::Marking marking;
+  std::vector<petri::TransitionId> enabled;  // ascending
+  std::vector<std::int64_t> dbm;             // (k+1)x(k+1), row-major
+
+  bool operator==(const StateClass& o) const {
+    return marking == o.marking && enabled == o.enabled && dbm == o.dbm;
+  }
+  [[nodiscard]] std::size_t hash() const;
+};
+
+inline constexpr std::int64_t kDbmInf =
+    std::numeric_limits<std::int64_t>::max() / 4;
+
+struct TimedOptions {
+  std::size_t max_classes = std::numeric_limits<std::size_t>::max();
+  double max_seconds = std::numeric_limits<double>::infinity();
+  bool build_graph = false;
+};
+
+struct TimedResult {
+  std::size_t class_count = 0;
+  std::size_t edge_count = 0;
+  bool deadlock_found = false;
+  /// Marking of the first deadlocked class (no transition firable).
+  std::optional<petri::Marking> deadlock_marking;
+  /// Sequence of transitions leading into the deadlocked class.
+  std::vector<petri::TransitionId> counterexample;
+  /// Distinct markings seen across all classes (== untimed reachable set
+  /// when all intervals are [0, inf); a subset when timing prunes paths).
+  std::size_t distinct_markings = 0;
+  bool limit_hit = false;
+  double seconds = 0.0;
+};
+
+/// Berthomieu–Diaz state-class-graph construction with deadlock detection.
+class StateClassExplorer {
+ public:
+  explicit StateClassExplorer(const TimedNet& tnet, TimedOptions options = {});
+
+  [[nodiscard]] TimedResult explore() const;
+
+  /// The initial state class (exposed for tests).
+  [[nodiscard]] StateClass initial_class() const;
+
+  /// Transitions firable from the class (minimal-delay semantics): t is
+  /// firable iff the domain restricted with theta_t <= theta_j for every
+  /// enabled j stays consistent.
+  [[nodiscard]] std::vector<petri::TransitionId> firable(
+      const StateClass& c) const;
+
+  /// Successor class after firing `t` (must be firable).
+  [[nodiscard]] StateClass fire(const StateClass& c,
+                                petri::TransitionId t) const;
+
+ private:
+  const TimedNet& tnet_;
+  TimedOptions options_;
+};
+
+}  // namespace gpo::timed

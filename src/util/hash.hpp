@@ -1,0 +1,26 @@
+// Small hashing helpers shared by the state stores and the BDD unique table.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace gpo::util {
+
+/// Mixes `v` into the running hash `seed` (boost::hash_combine style, with a
+/// 64-bit golden-ratio constant).
+inline void hash_combine(std::size_t& seed, std::size_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+}
+
+/// Finalizer from MurmurHash3; good avalanche for integer keys.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace gpo::util

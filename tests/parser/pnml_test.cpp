@@ -1,0 +1,189 @@
+#include "parser/pnml.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "models/models.hpp"
+#include "petri/builder.hpp"
+
+namespace gpo::parser {
+namespace {
+
+using petri::PetriNet;
+
+constexpr const char* kMinimal = R"(<?xml version="1.0"?>
+<pnml xmlns="http://www.pnml.org/version-2009/grammar/pnml">
+  <net id="demo" type="http://www.pnml.org/version-2009/grammar/ptnet">
+    <page id="g">
+      <place id="p0">
+        <name><text>start</text></name>
+        <initialMarking><text>1</text></initialMarking>
+      </place>
+      <place id="p1"/>
+      <transition id="t0"><name><text>go</text></name></transition>
+      <arc id="a0" source="p0" target="t0"/>
+      <arc id="a1" source="t0" target="p1"/>
+    </page>
+  </net>
+</pnml>)";
+
+TEST(Pnml, ParsesMinimalDocument) {
+  PetriNet net = parse_pnml(kMinimal);
+  EXPECT_EQ(net.name(), "demo");
+  EXPECT_EQ(net.place_count(), 2u);
+  EXPECT_EQ(net.transition_count(), 1u);
+  EXPECT_EQ(net.place(0).name, "start");  // label wins over id
+  EXPECT_EQ(net.place(1).name, "p1");     // id fallback
+  EXPECT_EQ(net.transition(0).name, "go");
+  EXPECT_TRUE(net.initial_marking().test(0));
+  EXPECT_FALSE(net.initial_marking().test(1));
+  EXPECT_EQ(net.transition(0).pre, std::vector<petri::PlaceId>{0});
+  EXPECT_EQ(net.transition(0).post, std::vector<petri::PlaceId>{1});
+}
+
+TEST(Pnml, ToleratesTopLevelNodesWithoutPage) {
+  PetriNet net = parse_pnml(R"(<pnml><net id="n">
+      <place id="p"><initialMarking><text>1</text></initialMarking></place>
+      <transition id="t"/>
+      <arc id="a" source="p" target="t"/>
+    </net></pnml>)");
+  EXPECT_EQ(net.place_count(), 1u);
+  EXPECT_EQ(net.transition_count(), 1u);
+}
+
+TEST(Pnml, NestedPagesAreFlattened) {
+  PetriNet net = parse_pnml(R"(<pnml><net id="n">
+      <page id="outer">
+        <place id="p"><initialMarking><text>1</text></initialMarking></place>
+        <page id="inner">
+          <transition id="t"/>
+          <arc id="a" source="p" target="t"/>
+        </page>
+      </page>
+    </net></pnml>)");
+  EXPECT_EQ(net.place_count(), 1u);
+  EXPECT_EQ(net.transition_count(), 1u);
+  EXPECT_EQ(net.transition(0).pre.size(), 1u);
+}
+
+TEST(Pnml, CommentsEntitiesAndNamespaces) {
+  PetriNet net = parse_pnml(R"(<?xml version="1.0"?>
+    <!-- a comment -->
+    <pnml:pnml xmlns:pnml="x">
+      <pnml:net id="a&amp;b">
+        <place id="p"><name><text>&lt;p&gt;</text></name>
+          <initialMarking><text> 1 </text></initialMarking></place>
+        <transition id="t"/>
+        <arc id="a" source="p" target="t"/>
+      </pnml:net>
+    </pnml:pnml>)");
+  EXPECT_EQ(net.name(), "a&b");
+  EXPECT_EQ(net.place(0).name, "<p>");
+}
+
+TEST(Pnml, RejectsMalformedXml) {
+  EXPECT_THROW((void)parse_pnml("<pnml><net id='n'></pnml>"), ParseError);
+  EXPECT_THROW((void)parse_pnml("<pnml"), ParseError);
+  EXPECT_THROW((void)parse_pnml("not xml at all"), ParseError);
+  EXPECT_THROW((void)parse_pnml("<pnml></pnml><extra/>"), ParseError);
+}
+
+TEST(Pnml, RejectsUnsupportedConstructs) {
+  // Root must be <pnml> with a <net>.
+  EXPECT_THROW((void)parse_pnml("<net id='n'></net>"), ParseError);
+  EXPECT_THROW((void)parse_pnml("<pnml></pnml>"), ParseError);
+  // Non-safe markings and weighted arcs are out of scope.
+  EXPECT_THROW((void)parse_pnml(R"(<pnml><net id="n">
+      <place id="p"><initialMarking><text>2</text></initialMarking></place>
+    </net></pnml>)"),
+               ParseError);
+  EXPECT_THROW((void)parse_pnml(R"(<pnml><net id="n">
+      <place id="p"><initialMarking><text>1</text></initialMarking></place>
+      <transition id="t"/>
+      <arc id="a" source="p" target="t">
+        <inscription><text>3</text></inscription>
+      </arc>
+    </net></pnml>)"),
+               ParseError);
+  // Arcs must connect a place and a transition that exist.
+  EXPECT_THROW((void)parse_pnml(R"(<pnml><net id="n">
+      <place id="p"/><transition id="t"/>
+      <arc id="a" source="p" target="zzz"/>
+    </net></pnml>)"),
+               ParseError);
+}
+
+class PnmlRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PnmlRoundTrip, WriteThenParseIsIdentity) {
+  std::string which = GetParam();
+  PetriNet original = which == "nsdp"   ? models::make_nsdp(3)
+                      : which == "asat" ? models::make_arbiter_tree(4)
+                      : which == "over" ? models::make_overtake(3)
+                      : which == "rw"   ? models::make_readers_writers(4)
+                                        : models::make_fig7();
+  PetriNet reparsed = parse_pnml(pnml_to_string(original));
+  ASSERT_EQ(reparsed.place_count(), original.place_count());
+  ASSERT_EQ(reparsed.transition_count(), original.transition_count());
+  EXPECT_EQ(reparsed.initial_marking(), original.initial_marking());
+  for (petri::PlaceId p = 0; p < original.place_count(); ++p)
+    EXPECT_EQ(reparsed.place(p).name, original.place(p).name);
+  for (petri::TransitionId t = 0; t < original.transition_count(); ++t) {
+    EXPECT_EQ(reparsed.transition(t).name, original.transition(t).name);
+    EXPECT_EQ(reparsed.transition(t).pre, original.transition(t).pre);
+    EXPECT_EQ(reparsed.transition(t).post, original.transition(t).post);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, PnmlRoundTrip,
+                         ::testing::Values("nsdp", "asat", "over", "rw",
+                                           "fig7"));
+
+TEST(Pnml, RandomNetsRoundTrip) {
+  for (std::uint64_t seed = 40; seed < 60; ++seed) {
+    models::RandomNetParams p;
+    p.seed = seed;
+    p.transitions = 4 + seed % 10;
+    PetriNet original = models::make_random_net(p);
+    PetriNet reparsed = parse_pnml(pnml_to_string(original));
+    ASSERT_EQ(reparsed.place_count(), original.place_count());
+    EXPECT_EQ(reparsed.initial_marking(), original.initial_marking());
+    for (petri::TransitionId t = 0; t < original.transition_count(); ++t) {
+      EXPECT_EQ(reparsed.transition(t).pre, original.transition(t).pre);
+      EXPECT_EQ(reparsed.transition(t).post, original.transition(t).post);
+    }
+  }
+}
+
+TEST(Pnml, FuzzedInputsNeverCrash) {
+  // Mutate a valid document; the parser must either succeed or throw
+  // ParseError/NetError — never crash or hang.
+  std::string base = pnml_to_string(models::make_fig7());
+  std::mt19937 rng(4242);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = base;
+    int edits = 1 + static_cast<int>(rng() % 5);
+    for (int e = 0; e < edits; ++e) {
+      std::size_t pos = rng() % mutated.size();
+      switch (rng() % 3) {
+        case 0: mutated[pos] = static_cast<char>(rng() % 128); break;
+        case 1: mutated.erase(pos, 1 + rng() % 10); break;
+        default:
+          mutated.insert(pos, std::string(1 + rng() % 5,
+                                          static_cast<char>(rng() % 128)));
+      }
+      if (mutated.empty()) mutated = "<";
+    }
+    try {
+      (void)parse_pnml(mutated);
+    } catch (const ParseError&) {
+    } catch (const petri::NetError&) {
+    } catch (const std::invalid_argument&) {  // std::stoi on mutated digits
+    } catch (const std::out_of_range&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gpo::parser

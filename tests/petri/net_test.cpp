@@ -1,0 +1,152 @@
+#include "petri/net.hpp"
+
+#include <gtest/gtest.h>
+
+#include "petri/builder.hpp"
+#include "models/models.hpp"
+
+namespace gpo::petri {
+namespace {
+
+PetriNet two_step_net() {
+  // p0* -> a -> p1 -> b -> p2
+  NetBuilder b("twostep");
+  PlaceId p0 = b.add_place("p0", true);
+  PlaceId p1 = b.add_place("p1");
+  PlaceId p2 = b.add_place("p2");
+  TransitionId a = b.add_transition("a");
+  b.connect(a, {p0}, {p1});
+  TransitionId t = b.add_transition("b");
+  b.connect(t, {p1}, {p2});
+  return b.build();
+}
+
+TEST(NetBuilder, BuildsStructure) {
+  PetriNet net = two_step_net();
+  EXPECT_EQ(net.place_count(), 3u);
+  EXPECT_EQ(net.transition_count(), 2u);
+  EXPECT_EQ(net.place(0).name, "p0");
+  EXPECT_EQ(net.transition(0).name, "a");
+  EXPECT_EQ(net.transition(0).pre, std::vector<PlaceId>{0});
+  EXPECT_EQ(net.transition(0).post, std::vector<PlaceId>{1});
+  EXPECT_EQ(net.place(1).pre, std::vector<TransitionId>{0});   // •p1 = {a}
+  EXPECT_EQ(net.place(1).post, std::vector<TransitionId>{1});  // p1• = {b}
+  EXPECT_TRUE(net.initial_marking().test(0));
+  EXPECT_FALSE(net.initial_marking().test(1));
+}
+
+TEST(NetBuilder, FindByName) {
+  PetriNet net = two_step_net();
+  EXPECT_EQ(net.find_place("p1"), 1u);
+  EXPECT_EQ(net.find_place("zzz"), kInvalidPlace);
+  EXPECT_EQ(net.find_transition("b"), 1u);
+  EXPECT_EQ(net.find_transition("zzz"), kInvalidTransition);
+}
+
+TEST(NetBuilder, RejectsDuplicateNames) {
+  NetBuilder b;
+  b.add_place("p");
+  EXPECT_THROW(b.add_place("p"), NetError);
+  b.add_transition("t");
+  EXPECT_THROW(b.add_transition("t"), NetError);
+  // Places and transitions live in separate namespaces.
+  EXPECT_NO_THROW(b.add_transition("p"));
+}
+
+TEST(NetBuilder, RejectsDuplicateArcs) {
+  NetBuilder b;
+  PlaceId p = b.add_place("p", true);
+  TransitionId t = b.add_transition("t");
+  b.add_input_arc(p, t);
+  b.add_input_arc(p, t);
+  EXPECT_THROW((void)b.build(), NetError);
+}
+
+TEST(NetBuilder, RejectsUnknownIds) {
+  NetBuilder b;
+  b.add_place("p");
+  b.add_transition("t");
+  EXPECT_THROW(b.add_input_arc(5, 0), NetError);
+  EXPECT_THROW(b.add_output_arc(0, 5), NetError);
+}
+
+TEST(NetBuilder, RejectsEmptyPresetByDefault) {
+  NetBuilder b;
+  PlaceId p = b.add_place("p");
+  TransitionId t = b.add_transition("t");
+  b.add_output_arc(t, p);
+  EXPECT_THROW((void)b.build(), NetError);
+  EXPECT_NO_THROW((void)b.build(/*allow_empty_presets=*/true));
+}
+
+TEST(Net, EnablingRule) {
+  PetriNet net = two_step_net();
+  Marking m = net.initial_marking();
+  EXPECT_TRUE(net.enabled(0, m));
+  EXPECT_FALSE(net.enabled(1, m));
+}
+
+TEST(Net, FiringRule) {
+  PetriNet net = two_step_net();
+  Marking m1 = net.fire(0, net.initial_marking());
+  EXPECT_EQ(m1, Marking(3, {1}));
+  Marking m2 = net.fire(1, m1);
+  EXPECT_EQ(m2, Marking(3, {2}));
+  EXPECT_TRUE(net.is_deadlocked(m2));
+  EXPECT_FALSE(net.is_deadlocked(m1));
+}
+
+TEST(Net, FiringReportsSafenessViolation) {
+  // t: p0 -> p1 where p1 is already marked.
+  NetBuilder b;
+  PlaceId p0 = b.add_place("p0", true);
+  PlaceId p1 = b.add_place("p1", true);
+  TransitionId t = b.add_transition("t");
+  b.connect(t, {p0}, {p1});
+  PetriNet net = b.build();
+  bool unsafe = false;
+  Marking m = net.fire(0, net.initial_marking(), &unsafe);
+  EXPECT_TRUE(unsafe);
+  EXPECT_TRUE(m.test(p1));
+  EXPECT_FALSE(m.test(p0));
+}
+
+TEST(Net, SelfLoopKeepsToken) {
+  // t consumes and produces p (p in •t ∩ t•): token survives firing.
+  NetBuilder b;
+  PlaceId p = b.add_place("p", true);
+  PlaceId q = b.add_place("q");
+  TransitionId t = b.add_transition("t");
+  b.connect(t, {p}, {p, q});
+  PetriNet net = b.build();
+  bool unsafe = false;
+  Marking m = net.fire(0, net.initial_marking(), &unsafe);
+  EXPECT_FALSE(unsafe);
+  EXPECT_TRUE(m.test(p));
+  EXPECT_TRUE(m.test(q));
+}
+
+TEST(Net, EnabledTransitions) {
+  PetriNet net = models::make_diamond(4);
+  auto enabled = net.enabled_transitions(net.initial_marking());
+  EXPECT_EQ(enabled.size(), 4u);
+}
+
+TEST(Net, MultiInputEnabling) {
+  NetBuilder b;
+  PlaceId p0 = b.add_place("p0", true);
+  PlaceId p1 = b.add_place("p1");
+  PlaceId p2 = b.add_place("p2");
+  TransitionId t = b.add_transition("t");
+  b.connect(t, {p0, p1}, {p2});
+  PetriNet net = b.build();
+  EXPECT_FALSE(net.enabled(0, net.initial_marking()));
+  Marking m = net.initial_marking();
+  m.set(p1);
+  EXPECT_TRUE(net.enabled(0, m));
+  Marking next = net.fire(0, m);
+  EXPECT_EQ(next, Marking(3, {2}));
+}
+
+}  // namespace
+}  // namespace gpo::petri

@@ -1,0 +1,253 @@
+#include "petri/structure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/models.hpp"
+#include "petri/builder.hpp"
+#include "reach/explorer.hpp"
+
+namespace gpo::petri {
+namespace {
+
+using util::Bitset;
+
+Bitset places_by_name(const PetriNet& net,
+                      std::initializer_list<const char*> names) {
+  Bitset s(net.place_count());
+  for (const char* n : names) s.set(net.find_place(n));
+  return s;
+}
+
+TEST(Structure, SiphonAndTrapPredicates) {
+  // p0* -> a -> p1 -> b -> p0  (a simple cycle): {p0,p1} is both siphon and
+  // trap; each singleton is neither.
+  NetBuilder b;
+  auto p0 = b.add_place("p0", true);
+  auto p1 = b.add_place("p1");
+  auto ta = b.add_transition("a");
+  b.connect(ta, {p0}, {p1});
+  auto tb = b.add_transition("b");
+  b.connect(tb, {p1}, {p0});
+  PetriNet net = b.build();
+
+  Bitset both(2, {0, 1});
+  EXPECT_TRUE(is_siphon(net, both));
+  EXPECT_TRUE(is_trap(net, both));
+  Bitset just0(2, {0});
+  EXPECT_FALSE(is_siphon(net, just0));  // b produces into p0 from outside
+  EXPECT_FALSE(is_trap(net, just0));    // a consumes p0, produces outside
+  EXPECT_TRUE(is_siphon(net, Bitset(2)));  // empty set, by convention
+  (void)p0;
+  (void)p1;
+}
+
+TEST(Structure, SourceOnlyPlaceIsSiphon) {
+  PetriNet net = models::make_conflict_chain(2);
+  // p_i has no producers: {p_i} is a siphon; its outputs qa/qb are not.
+  EXPECT_TRUE(is_siphon(net, places_by_name(net, {"p_0"})));
+  EXPECT_FALSE(is_siphon(net, places_by_name(net, {"qa_0"})));
+  // qa_0 has no consumers: it is a trap.
+  EXPECT_TRUE(is_trap(net, places_by_name(net, {"qa_0"})));
+  EXPECT_FALSE(is_trap(net, places_by_name(net, {"p_0"})));
+}
+
+TEST(Structure, MaximalSiphonFixpoint) {
+  PetriNet net = models::make_conflict_chain(2);
+  Bitset all(net.place_count());
+  for (std::size_t p = 0; p < net.place_count(); ++p) all.set(p);
+  Bitset max_siphon = maximal_siphon_within(net, all);
+  EXPECT_TRUE(is_siphon(net, max_siphon));
+  // The conflict places have no producers, so they must survive.
+  EXPECT_TRUE(max_siphon.test(net.find_place("p_0")));
+  EXPECT_TRUE(max_siphon.test(net.find_place("p_1")));
+  // Nothing outside the fixpoint can be added back: it is maximal.
+  for (std::size_t p = 0; p < net.place_count(); ++p) {
+    if (max_siphon.test(p)) continue;
+    Bitset bigger = max_siphon;
+    bigger.set(p);
+    EXPECT_FALSE(is_siphon(net, bigger)) << net.place(p).name;
+  }
+}
+
+TEST(Structure, MaximalTrapFixpoint) {
+  PetriNet net = models::make_nsdp(2);
+  Bitset all(net.place_count());
+  for (std::size_t p = 0; p < net.place_count(); ++p) all.set(p);
+  Bitset max_trap = maximal_trap_within(net, all);
+  EXPECT_TRUE(is_trap(net, max_trap));
+  for (std::size_t p = 0; p < net.place_count(); ++p) {
+    if (max_trap.test(p)) continue;
+    Bitset bigger = max_trap;
+    bigger.set(p);
+    EXPECT_FALSE(is_trap(net, bigger));
+  }
+}
+
+TEST(Structure, MinimalSiphonsAgainstBruteForce) {
+  // Exhaustive comparison on small random nets (<= 10 places).
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    models::RandomNetParams p;
+    p.machines = 2;
+    p.states_per_machine = 2 + seed % 3;
+    p.transitions = 4 + seed % 6;
+    p.seed = seed;
+    PetriNet net = models::make_random_net(p);
+    const std::size_t np = net.place_count();
+    if (np > 12) continue;
+
+    // Brute force: all minimal nonempty siphons.
+    std::vector<Bitset> brute;
+    for (std::uint64_t mask = 1; mask < (1ull << np); ++mask) {
+      Bitset s(np);
+      for (std::size_t i = 0; i < np; ++i)
+        if (mask & (1ull << i)) s.set(i);
+      if (!is_siphon(net, s)) continue;
+      brute.push_back(s);
+    }
+    std::vector<Bitset> brute_min;
+    for (const Bitset& s : brute) {
+      bool minimal = true;
+      for (const Bitset& o : brute)
+        if (!(o == s) && o.is_subset_of(s)) {
+          minimal = false;
+          break;
+        }
+      if (minimal) brute_min.push_back(s);
+    }
+    std::sort(brute_min.begin(), brute_min.end());
+
+    bool complete = true;
+    auto mined = minimal_siphons(net, 1u << 16, &complete);
+    ASSERT_TRUE(complete) << "seed=" << seed;
+    std::sort(mined.begin(), mined.end());
+    EXPECT_EQ(mined, brute_min) << "seed=" << seed;
+  }
+}
+
+TEST(Structure, FreeChoiceClassification) {
+  EXPECT_TRUE(is_free_choice(models::make_conflict_chain(3)));
+  EXPECT_TRUE(is_free_choice(models::make_diamond(3)));
+  // NSDP's forks are shared asymmetrically: not free choice.
+  EXPECT_FALSE(is_free_choice(models::make_nsdp(3)));
+  EXPECT_FALSE(is_free_choice(models::make_readers_writers(3)));
+}
+
+TEST(Structure, SiphonTrapFlagsDeadlockingNets) {
+  // Terminal nets (chain, diamond) and NSDP deadlock: the property must
+  // fail. On the deadlock-free cyclic ASAT it should hold.
+  EXPECT_FALSE(siphon_trap_property(models::make_conflict_chain(2)).holds);
+  EXPECT_FALSE(siphon_trap_property(models::make_nsdp(3)).holds);
+  auto asat = siphon_trap_property(models::make_arbiter_tree(2));
+  EXPECT_TRUE(asat.holds);
+  EXPECT_TRUE(asat.exhaustive);
+}
+
+TEST(Structure, SiphonTrapCounterexampleIsAnUnprotectedSiphon) {
+  auto r = siphon_trap_property(models::make_nsdp(2));
+  ASSERT_FALSE(r.holds);
+  ASSERT_TRUE(r.counterexample_siphon.has_value());
+  PetriNet net = models::make_nsdp(2);
+  EXPECT_TRUE(is_siphon(net, *r.counterexample_siphon));
+  Bitset trap = maximal_trap_within(net, *r.counterexample_siphon);
+  EXPECT_FALSE(trap.intersects(net.initial_marking()));
+}
+
+TEST(Structure, InvariantBasisValuesAreConserved) {
+  for (auto make : {+[] { return models::make_nsdp(3); },
+                    +[] { return models::make_readers_writers(3); },
+                    +[] { return models::make_arbiter_tree(2); },
+                    +[] { return models::make_overtake(3); }}) {
+    PetriNet net = make();
+    auto basis = place_invariant_basis(net);
+    EXPECT_FALSE(basis.empty()) << net.name();
+    // Check conservation on every reachable marking.
+    reach::ExplorerOptions opt;
+    opt.build_graph = true;
+    auto r = reach::ExplicitExplorer(net, opt).explore();
+    // Recompute markings by replaying the graph is overkill; instead use a
+    // fresh exploration with a bad_state probe that checks invariants.
+    for (const PlaceInvariant& inv : basis) {
+      reach::ExplorerOptions probe;
+      probe.bad_state = [&](const Marking& m) {
+        return invariant_value(inv, m) != inv.initial_value;
+      };
+      EXPECT_FALSE(
+          reach::ExplicitExplorer(net, probe).explore().bad_state_found)
+          << net.name();
+    }
+  }
+}
+
+TEST(Structure, SemiflowsAreNonnegativeAndConserved) {
+  PetriNet net = models::make_readers_writers(3);
+  bool complete = true;
+  auto flows = place_semiflows(net, 4096, &complete);
+  EXPECT_TRUE(complete);
+  EXPECT_FALSE(flows.empty());
+  for (const PlaceInvariant& inv : flows) {
+    for (std::int64_t w : inv.weights) EXPECT_GE(w, 0);
+    reach::ExplorerOptions probe;
+    probe.bad_state = [&](const Marking& m) {
+      return invariant_value(inv, m) != inv.initial_value;
+    };
+    EXPECT_FALSE(
+        reach::ExplicitExplorer(net, probe).explore().bad_state_found);
+  }
+}
+
+TEST(Structure, SemiflowsCertifySafenessOfStateMachineComponents) {
+  // Each process of RW cycles through {idle, reading, writing}: a semiflow
+  // with weight 1 on those places and initial value 1 certifies them 1-safe.
+  PetriNet net = models::make_readers_writers(3);
+  auto flows = place_semiflows(net);
+  Bitset certified = safeness_certified_places(net, flows);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(certified.test(net.find_place("idle_" + std::to_string(i))));
+    EXPECT_TRUE(
+        certified.test(net.find_place("reading_" + std::to_string(i))));
+  }
+}
+
+TEST(Structure, NsdpForkInvariant) {
+  // fork_i + hasL_i + hasR_{i-1} + eat_i + eat_{i-1} is conserved (each fork
+  // is either on the table or accounted for by a holder) — find a semiflow
+  // whose support contains fork_0.
+  PetriNet net = models::make_nsdp(3);
+  auto flows = place_semiflows(net);
+  PlaceId fork0 = net.find_place("fork_0");
+  bool found = false;
+  for (const PlaceInvariant& inv : flows)
+    if (inv.weights[fork0] > 0) {
+      found = true;
+      EXPECT_EQ(inv.initial_value, 1);  // exactly one fork_0 token ever
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(Structure, RandomNetsSemiflowConservation) {
+  for (std::uint64_t seed = 900; seed < 915; ++seed) {
+    models::RandomNetParams p;
+    p.machines = 2 + seed % 2;
+    p.states_per_machine = 3;
+    p.transitions = 5 + seed % 6;
+    p.seed = seed;
+    PetriNet net = models::make_random_net(p);
+    auto flows = place_semiflows(net);
+    // Each component state machine conserves its one token: at least one
+    // semiflow per machine.
+    EXPECT_GE(flows.size(), p.machines) << "seed=" << seed;
+    for (const PlaceInvariant& inv : flows) {
+      reach::ExplorerOptions probe;
+      probe.max_states = 50000;
+      probe.bad_state = [&](const Marking& m) {
+        return invariant_value(inv, m) != inv.initial_value;
+      };
+      EXPECT_FALSE(
+          reach::ExplicitExplorer(net, probe).explore().bad_state_found)
+          << "seed=" << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gpo::petri

@@ -1,0 +1,162 @@
+#include "por/stubborn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/models.hpp"
+#include "petri/builder.hpp"
+#include "reach/explorer.hpp"
+
+namespace gpo::por {
+namespace {
+
+using petri::ConflictInfo;
+using petri::Marking;
+using petri::PetriNet;
+using petri::TransitionId;
+
+TEST(StubbornSet, SingletonForIndependentTransition) {
+  PetriNet net = models::make_diamond(3);
+  ConflictInfo ci(net);
+  auto s = stubborn_enabled_set(net, ci, net.initial_marking(), {0});
+  EXPECT_EQ(s, std::vector<TransitionId>{0});
+}
+
+TEST(StubbornSet, PullsInConflictingTransitions) {
+  PetriNet net = models::make_fig7();
+  ConflictInfo ci(net);
+  TransitionId a = net.find_transition("A");
+  TransitionId b = net.find_transition("B");
+  auto s = stubborn_enabled_set(net, ci, net.initial_marking(), {a});
+  EXPECT_EQ(s, (std::vector<TransitionId>{a, b}));
+}
+
+TEST(StubbornSet, DisabledSeedPullsInScapegoatProducers) {
+  // c disabled for lack of p1; the producer a of p1 must join, and since a
+  // is enabled the returned enabled subset is {a}.
+  petri::NetBuilder bld;
+  auto p0 = bld.add_place("p0", true);
+  auto p1 = bld.add_place("p1");
+  auto p2 = bld.add_place("p2");
+  auto ta = bld.add_transition("a");
+  bld.connect(ta, {p0}, {p1});
+  auto tc = bld.add_transition("c");
+  bld.connect(tc, {p1}, {p2});
+  PetriNet net = bld.build();
+  ConflictInfo ci(net);
+  auto s = stubborn_enabled_set(net, ci, net.initial_marking(), {tc});
+  EXPECT_EQ(s, std::vector<TransitionId>{ta});
+}
+
+TEST(StubbornSet, AlwaysContainsAnEnabledKeyTransition) {
+  PetriNet net = models::make_nsdp(3);
+  ConflictInfo ci(net);
+  Marking m = net.initial_marking();
+  for (TransitionId t : net.enabled_transitions(m)) {
+    auto s = stubborn_enabled_set(net, ci, m, {t});
+    EXPECT_FALSE(s.empty());
+    for (TransitionId u : s) EXPECT_TRUE(net.enabled(u, m));
+  }
+}
+
+TEST(StubbornExplorer, DiamondIsLinear) {
+  // The motivating Fig. 1 reduction: n+1 states instead of 2^n.
+  for (std::size_t n : {2u, 4u, 8u}) {
+    auto result = StubbornExplorer(models::make_diamond(n)).explore();
+    EXPECT_EQ(result.state_count, n + 1) << "n=" << n;
+    EXPECT_TRUE(result.deadlock_found);
+  }
+}
+
+TEST(StubbornExplorer, ConflictChainIsAnticipationTree) {
+  // The paper's Fig. 2: partial order methods still need 2^{n+1}-1 states.
+  for (std::size_t n : {2u, 4u, 6u}) {
+    auto result =
+        StubbornExplorer(models::make_conflict_chain(n)).explore();
+    EXPECT_EQ(result.state_count, (std::size_t{2} << n) - 1) << "n=" << n;
+  }
+}
+
+TEST(StubbornExplorer, NeverMoreStatesThanFull) {
+  for (const char* which : {"nsdp", "asat", "over", "rw"}) {
+    PetriNet net = std::string(which) == "nsdp" ? models::make_nsdp(4)
+                   : std::string(which) == "asat"
+                       ? models::make_arbiter_tree(4)
+                   : std::string(which) == "over" ? models::make_overtake(4)
+                                                  : models::make_readers_writers(5);
+    auto full = reach::ExplicitExplorer(net).explore();
+    auto red = StubbornExplorer(net).explore();
+    EXPECT_LE(red.state_count, full.state_count) << which;
+    EXPECT_EQ(red.deadlock_found, full.deadlock_found) << which;
+  }
+}
+
+class StrategyTest : public ::testing::TestWithParam<SeedStrategy> {};
+
+TEST_P(StrategyTest, DeadlockPreservedOnRandomNets) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    models::RandomNetParams p;
+    p.machines = 2 + seed % 3;
+    p.states_per_machine = 3 + seed % 3;
+    p.transitions = 5 + seed % 10;
+    p.sync_percent = 40;
+    p.seed = seed;
+    PetriNet net = models::make_random_net(p);
+    reach::ExplorerOptions eo;
+    eo.max_states = 100000;
+    auto ground = reach::ExplicitExplorer(net, eo).explore();
+    if (ground.limit_hit) continue;
+    StubbornOptions so;
+    so.strategy = GetParam();
+    auto red = StubbornExplorer(net, so).explore();
+    EXPECT_EQ(red.deadlock_found, ground.deadlock_found) << "seed=" << seed;
+    EXPECT_LE(red.state_count, ground.state_count) << "seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, StrategyTest,
+                         ::testing::Values(SeedStrategy::kBestOverSeeds,
+                                           SeedStrategy::kFirstEnabled,
+                                           SeedStrategy::kWholeConflictSet));
+
+TEST(StubbornExplorer, CounterexampleReplays) {
+  PetriNet net = models::make_nsdp(3);
+  auto result = StubbornExplorer(net).explore();
+  ASSERT_TRUE(result.deadlock_found);
+  Marking m = net.initial_marking();
+  for (TransitionId t : result.counterexample) {
+    ASSERT_TRUE(net.enabled(t, m));
+    m = net.fire(t, m);
+  }
+  EXPECT_TRUE(net.is_deadlocked(m));
+}
+
+TEST(StubbornExplorer, ExploreFromCustomRoots) {
+  PetriNet net = models::make_nsdp(2);
+  // Root: the all-left deadlock marking itself -> found immediately.
+  Marking dead(net.place_count());
+  dead.set(net.find_place("hasL_0"));
+  dead.set(net.find_place("hasL_1"));
+  StubbornOptions so;
+  auto result = StubbornExplorer(net, so).explore_from({dead});
+  EXPECT_TRUE(result.deadlock_found);
+  EXPECT_EQ(result.counterexample.size(), 0u);
+  EXPECT_EQ(*result.first_deadlock, dead);
+}
+
+TEST(StubbornExplorer, ExploreFromMultipleRootsDeduplicates) {
+  PetriNet net = models::make_diamond(2);
+  Marking m0 = net.initial_marking();
+  auto one = StubbornExplorer(net).explore_from({m0});
+  auto twice = StubbornExplorer(net).explore_from({m0, m0});
+  EXPECT_EQ(one.state_count, twice.state_count);
+}
+
+TEST(StubbornExplorer, StateLimit) {
+  StubbornOptions so;
+  so.max_states = 5;
+  auto result = StubbornExplorer(models::make_nsdp(6), so).explore();
+  EXPECT_TRUE(result.limit_hit);
+}
+
+}  // namespace
+}  // namespace gpo::por

@@ -1,0 +1,322 @@
+#include "timed/timed_net.hpp"
+#include "timed/parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/models.hpp"
+#include "petri/builder.hpp"
+#include "reach/explorer.hpp"
+
+namespace gpo::timed {
+namespace {
+
+using petri::Marking;
+using petri::NetBuilder;
+using petri::PetriNet;
+using petri::TransitionId;
+
+/// Two independent transitions a, b with the given intervals.
+TimedNet two_concurrent(TimeInterval ia, TimeInterval ib) {
+  NetBuilder bld;
+  auto pa = bld.add_place("pa", true);
+  auto pb = bld.add_place("pb", true);
+  auto qa = bld.add_place("qa");
+  auto qb = bld.add_place("qb");
+  auto a = bld.add_transition("a");
+  bld.connect(a, {pa}, {qa});
+  auto b = bld.add_transition("b");
+  bld.connect(b, {pb}, {qb});
+  return TimedNet(bld.build(), {ia, ib});
+}
+
+/// Conflict pair a vs b on a shared place.
+TimedNet conflict_pair(TimeInterval ia, TimeInterval ib) {
+  NetBuilder bld;
+  auto p = bld.add_place("p", true);
+  auto qa = bld.add_place("qa");
+  auto qb = bld.add_place("qb");
+  auto a = bld.add_transition("a");
+  bld.connect(a, {p}, {qa});
+  auto b = bld.add_transition("b");
+  bld.connect(b, {p}, {qb});
+  return TimedNet(bld.build(), {ia, ib});
+}
+
+TEST(TimedNet, ValidatesIntervals) {
+  NetBuilder bld;
+  auto p = bld.add_place("p", true);
+  auto q = bld.add_place("q");
+  auto t = bld.add_transition("t");
+  bld.connect(t, {p}, {q});
+  PetriNet net = bld.build();
+  EXPECT_THROW(TimedNet(net, {}), std::invalid_argument);
+  EXPECT_THROW(TimedNet(net, {TimeInterval{-1, Bound::inf()}}),
+               std::invalid_argument);
+  EXPECT_THROW(TimedNet(net, {TimeInterval{5, Bound{3, false}}}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(TimedNet(net, {TimeInterval{2, Bound{2, false}}}));
+}
+
+TEST(StateClass, InitialClassHoldsStaticIntervals) {
+  TimedNet tnet = two_concurrent({2, Bound{5, false}}, {1, Bound{3, false}});
+  StateClassExplorer ex(tnet);
+  StateClass c = ex.initial_class();
+  ASSERT_EQ(c.enabled.size(), 2u);
+  // dbm[i][0] = lft, dbm[0][i] = -eft (before tightening 5 vs 3+? closure
+  // may tighten a's upper bound through b's: theta_a <= theta_b + (a-b
+  // difference) — with no cross constraints it stays).
+  const std::size_t n = 3;
+  EXPECT_EQ(c.dbm[1 * n + 0], 5);
+  EXPECT_EQ(c.dbm[0 * n + 1], -2);
+  EXPECT_EQ(c.dbm[2 * n + 0], 3);
+  EXPECT_EQ(c.dbm[0 * n + 2], -1);
+}
+
+TEST(StateClass, TimingDisablesLateCompetitorInConcurrency) {
+  // a in [0,1], b in [2,3]: a's deadline passes before b may fire, so the
+  // only firable transition initially is a.
+  TimedNet tnet = two_concurrent({0, Bound{1, false}}, {2, Bound{3, false}});
+  StateClassExplorer ex(tnet);
+  auto f = ex.firable(ex.initial_class());
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(tnet.net().transition(f[0]).name, "a");
+}
+
+TEST(StateClass, OverlappingIntervalsAllowBothOrders) {
+  TimedNet tnet = two_concurrent({0, Bound{4, false}}, {2, Bound{3, false}});
+  StateClassExplorer ex(tnet);
+  auto f = ex.firable(ex.initial_class());
+  EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(StateClass, TimedConflictPrunesSlowBranch) {
+  // In a conflict, the competitor whose eft exceeds the other's lft never
+  // wins the race.
+  TimedNet tnet = conflict_pair({0, Bound{1, false}}, {2, Bound{4, false}});
+  StateClassExplorer ex(tnet);
+  auto f = ex.firable(ex.initial_class());
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(tnet.net().transition(f[0]).name, "a");
+  auto r = ex.explore();
+  EXPECT_EQ(r.class_count, 2u);  // initial + a-fired (b branch pruned)
+}
+
+TEST(StateClass, UntimedIntervalsKeepBothBranches) {
+  TimedNet tnet = conflict_pair({0, Bound::inf()}, {0, Bound::inf()});
+  auto r = StateClassExplorer(tnet).explore();
+  EXPECT_EQ(r.class_count, 3u);
+  EXPECT_EQ(r.distinct_markings, 3u);
+}
+
+TEST(StateClass, PersistentTransitionKeepsElapsedTime) {
+  // a in [1,1] and b in [3,3] concurrent: after a fires at time 1, b's
+  // remaining delay is [2,2]; then b must be the unique next event, and the
+  // graph is a 3-class chain.
+  TimedNet tnet = two_concurrent({1, Bound{1, false}}, {3, Bound{3, false}});
+  StateClassExplorer ex(tnet);
+  StateClass c0 = ex.initial_class();
+  auto f0 = ex.firable(c0);
+  ASSERT_EQ(f0.size(), 1u);
+  StateClass c1 = ex.fire(c0, f0[0]);
+  ASSERT_EQ(c1.enabled.size(), 1u);
+  const std::size_t n = 2;
+  EXPECT_EQ(c1.dbm[1 * n + 0], 2);   // upper bound on remaining delay
+  EXPECT_EQ(c1.dbm[0 * n + 1], -2);  // lower bound
+  auto r = ex.explore();
+  EXPECT_EQ(r.class_count, 3u);
+  EXPECT_TRUE(r.deadlock_found);  // terminal marking
+}
+
+TEST(StateClass, NewlyEnabledGetsFreshInterval) {
+  // p -> a[5,5] -> q -> b[1,2] -> done: b's clock starts when a fires.
+  NetBuilder bld;
+  auto p = bld.add_place("p", true);
+  auto q = bld.add_place("q");
+  auto done = bld.add_place("done");
+  auto a = bld.add_transition("a");
+  bld.connect(a, {p}, {q});
+  auto b = bld.add_transition("b");
+  bld.connect(b, {q}, {done});
+  TimedNet tnet(bld.build(),
+                {TimeInterval{5, Bound{5, false}}, TimeInterval{1, Bound{2, false}}});
+  StateClassExplorer ex(tnet);
+  StateClass c1 = ex.fire(ex.initial_class(), 0);
+  const std::size_t n = 2;
+  EXPECT_EQ(c1.dbm[1 * n + 0], 2);
+  EXPECT_EQ(c1.dbm[0 * n + 1], -1);
+}
+
+TEST(StateClass, SelfConflictReenablementIsFresh) {
+  // A cyclic transition re-enables itself: every firing restarts its clock,
+  // and the class graph has exactly one class (it loops onto itself).
+  NetBuilder bld;
+  auto p = bld.add_place("p", true);
+  auto t = bld.add_transition("t");
+  bld.connect(t, {p}, {p});
+  TimedNet tnet(bld.build(), {TimeInterval{1, Bound{2, false}}});
+  auto r = StateClassExplorer(tnet).explore();
+  EXPECT_EQ(r.class_count, 1u);
+  EXPECT_FALSE(r.deadlock_found);
+}
+
+TEST(StateClassGraph, UntimedNetMatchesClassicalReachability) {
+  // With every interval [0, inf) the class graph collapses to the ordinary
+  // reachability graph: same marking count and same deadlock verdict.
+  for (auto make : {+[] { return models::make_nsdp(2); },
+                    +[] { return models::make_conflict_chain(3); },
+                    +[] { return models::make_overtake(3); },
+                    +[] { return models::make_readers_writers(3); }}) {
+    PetriNet net = make();
+    std::vector<TimeInterval> ivs(net.transition_count());
+    TimedNet tnet(net, ivs);
+    auto timed = StateClassExplorer(tnet).explore();
+    auto ground = reach::ExplicitExplorer(net).explore();
+    EXPECT_EQ(timed.distinct_markings, ground.state_count) << net.name();
+    EXPECT_EQ(timed.class_count, ground.state_count) << net.name();
+    EXPECT_EQ(timed.deadlock_found, ground.deadlock_found) << net.name();
+  }
+}
+
+TEST(StateClassGraph, TimedMarkingsAreSubsetOfUntimed) {
+  // Any timing only prunes behaviour: markings reached in the class graph
+  // are classically reachable.
+  PetriNet net = models::make_nsdp(2);
+  std::vector<TimeInterval> ivs(net.transition_count());
+  for (std::size_t t = 0; t < ivs.size(); ++t)
+    ivs[t] = TimeInterval{static_cast<std::int64_t>(t % 3),
+                          Bound{static_cast<std::int64_t>(3 + t % 4), false}};
+  TimedNet tnet(net, ivs);
+  auto timed = StateClassExplorer(tnet).explore();
+  auto ground = reach::ExplicitExplorer(net).explore();
+  EXPECT_LE(timed.distinct_markings, ground.state_count);
+}
+
+TEST(StateClassGraph, TimingCanRemoveADeadlock) {
+  // p cycles through a (fast) back to p; b (slow) leads into a dead sink.
+  // Untimed, the b-branch deadlocks. Timed, a's deadline (lft = 1) always
+  // beats b's earliest firing (eft = 3), and every firing of a disables and
+  // re-enables b, resetting its clock: b never fires and the deadlock
+  // disappears.
+  NetBuilder bld;
+  auto p = bld.add_place("p", true);
+  auto qa = bld.add_place("qa");
+  auto qb = bld.add_place("qb");
+  auto a = bld.add_transition("a");
+  bld.connect(a, {p}, {qa});
+  auto c = bld.add_transition("c");
+  bld.connect(c, {qa}, {p});
+  auto b = bld.add_transition("b");
+  bld.connect(b, {p}, {qb});
+  PetriNet net = bld.build();
+  EXPECT_TRUE(reach::ExplicitExplorer(net).explore().deadlock_found);
+
+  TimedNet tnet(net, {TimeInterval{0, Bound{1, false}},
+                      TimeInterval{0, Bound{1, false}},
+                      TimeInterval{3, Bound{4, false}}});
+  auto timed = StateClassExplorer(tnet).explore();
+  EXPECT_FALSE(timed.deadlock_found);
+  // The dead sink's marking is never reached.
+  EXPECT_LT(timed.distinct_markings,
+            reach::ExplicitExplorer(net).explore().state_count);
+}
+
+TEST(StateClassGraph, DeadlockTraceReplays) {
+  TimedNet tnet = two_concurrent({1, Bound{1, false}}, {3, Bound{3, false}});
+  auto r = StateClassExplorer(tnet).explore();
+  ASSERT_TRUE(r.deadlock_found);
+  Marking m = tnet.net().initial_marking();
+  for (TransitionId t : r.counterexample) {
+    ASSERT_TRUE(tnet.net().enabled(t, m));
+    m = tnet.net().fire(t, m);
+  }
+  EXPECT_EQ(m, *r.deadlock_marking);
+}
+
+TEST(TimedParse, ParsesAnnotatedNet) {
+  TimedNet tnet = parse_timed_net(R"(
+    net demo
+    place p0 marked
+    place p1
+    place p2
+    trans a
+    trans b
+    arc p0 -> a
+    arc a -> p1
+    arc p1 -> b
+    arc b -> p2
+    time a 2 5
+    time b 1 inf
+  )");
+  EXPECT_EQ(tnet.net().name(), "demo");
+  auto a = tnet.net().find_transition("a");
+  auto b = tnet.net().find_transition("b");
+  EXPECT_EQ(tnet.interval(a).eft, 2);
+  EXPECT_EQ(tnet.interval(a).lft, (Bound{5, false}));
+  EXPECT_EQ(tnet.interval(b).eft, 1);
+  EXPECT_TRUE(tnet.interval(b).lft.infinite);
+}
+
+TEST(TimedParse, DefaultsToUntimed) {
+  TimedNet tnet = parse_timed_net("place p marked\ntrans t\narc p -> t\n");
+  EXPECT_EQ(tnet.interval(0).eft, 0);
+  EXPECT_TRUE(tnet.interval(0).lft.infinite);
+}
+
+TEST(TimedParse, Errors) {
+  const char* base = "place p marked\ntrans t\narc p -> t\n";
+  EXPECT_THROW((void)parse_timed_net(std::string(base) + "time t 1\n"),
+               parser::ParseError);
+  EXPECT_THROW((void)parse_timed_net(std::string(base) + "time u 1 2\n"),
+               parser::ParseError);
+  EXPECT_THROW((void)parse_timed_net(std::string(base) + "time t x 2\n"),
+               parser::ParseError);
+  EXPECT_THROW(
+      (void)parse_timed_net(std::string(base) + "time t 1 2\ntime t 1 3\n"),
+      parser::ParseError);
+  EXPECT_THROW((void)parse_timed_net(std::string(base) + "time t 5 2\n"),
+               std::invalid_argument);  // lft < eft
+}
+
+TEST(TimedParse, RoundTrip) {
+  petri::NetBuilder bld("rt");
+  auto p = bld.add_place("p", true);
+  auto q = bld.add_place("q");
+  auto a = bld.add_transition("a");
+  bld.connect(a, {p}, {q});
+  auto b = bld.add_transition("b");
+  bld.connect(b, {q}, {p});
+  TimedNet original(bld.build(), {TimeInterval{1, Bound{4, false}},
+                                  TimeInterval{0, Bound::inf()}});
+  TimedNet reparsed = parse_timed_net(timed_net_to_string(original));
+  for (petri::TransitionId t = 0; t < 2; ++t) {
+    EXPECT_EQ(reparsed.interval(t).eft, original.interval(t).eft);
+    EXPECT_EQ(reparsed.interval(t).lft, original.interval(t).lft);
+  }
+  // Same class graph either way.
+  auto r1 = StateClassExplorer(original).explore();
+  auto r2 = StateClassExplorer(reparsed).explore();
+  EXPECT_EQ(r1.class_count, r2.class_count);
+}
+
+TEST(StateClassGraph, ClassLimit) {
+  PetriNet net = models::make_nsdp(3);
+  std::vector<TimeInterval> ivs(net.transition_count());
+  TimedOptions opt;
+  opt.max_classes = 5;
+  auto r = StateClassExplorer(TimedNet(net, ivs), opt).explore();
+  EXPECT_TRUE(r.limit_hit);
+}
+
+TEST(StateClassGraph, HashDistinguishesDomains) {
+  // Same marking, different firing domains -> different classes.
+  TimedNet tnet = two_concurrent({0, Bound{10, false}}, {0, Bound{10, false}});
+  StateClassExplorer ex(tnet);
+  StateClass c0 = ex.initial_class();
+  StateClass via_a = ex.fire(c0, 0);
+  StateClass via_a2 = ex.fire(c0, 0);
+  EXPECT_TRUE(via_a == via_a2);
+  EXPECT_EQ(via_a.hash(), via_a2.hash());
+}
+
+}  // namespace
+}  // namespace gpo::timed
