@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_diamond.dir/fig1_diamond_main.cpp.o"
+  "CMakeFiles/bench_fig1_diamond.dir/fig1_diamond_main.cpp.o.d"
+  "bench_fig1_diamond"
+  "bench_fig1_diamond.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_diamond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

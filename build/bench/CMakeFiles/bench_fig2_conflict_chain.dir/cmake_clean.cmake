@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_conflict_chain.dir/fig2_conflict_chain_main.cpp.o"
+  "CMakeFiles/bench_fig2_conflict_chain.dir/fig2_conflict_chain_main.cpp.o.d"
+  "bench_fig2_conflict_chain"
+  "bench_fig2_conflict_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_conflict_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/mutex_safety.cpp" "examples/CMakeFiles/example_mutex_safety.dir/mutex_safety.cpp.o" "gcc" "examples/CMakeFiles/example_mutex_safety.dir/mutex_safety.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gpo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/safety/CMakeFiles/gpo_safety.dir/DependInfo.cmake"
+  "/root/repo/build/src/timed/CMakeFiles/gpo_timed.dir/DependInfo.cmake"
+  "/root/repo/build/src/por/CMakeFiles/gpo_por.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/gpo_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/reach/CMakeFiles/gpo_reach.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/gpo_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/gpo_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/petri/CMakeFiles/gpo_petri.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mutex_safety.dir/mutex_safety.cpp.o"
+  "CMakeFiles/example_mutex_safety.dir/mutex_safety.cpp.o.d"
+  "example_mutex_safety"
+  "example_mutex_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mutex_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

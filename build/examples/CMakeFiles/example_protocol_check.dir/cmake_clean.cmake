@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_protocol_check.dir/protocol_check.cpp.o"
+  "CMakeFiles/example_protocol_check.dir/protocol_check.cpp.o.d"
+  "example_protocol_check"
+  "example_protocol_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_protocol_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_timed_analysis.dir/timed_analysis.cpp.o"
+  "CMakeFiles/example_timed_analysis.dir/timed_analysis.cpp.o.d"
+  "example_timed_analysis"
+  "example_timed_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_timed_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("petri")
+subdirs("parser")
+subdirs("reach")
+subdirs("por")
+subdirs("bdd")
+subdirs("core")
+subdirs("safety")
+subdirs("timed")
+subdirs("mc")
+subdirs("unfold")
+subdirs("models")
+subdirs("cli")

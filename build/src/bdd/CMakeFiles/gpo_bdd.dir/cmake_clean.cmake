@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpo_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/gpo_bdd.dir/bdd.cpp.o.d"
+  "CMakeFiles/gpo_bdd.dir/symbolic_reach.cpp.o"
+  "CMakeFiles/gpo_bdd.dir/symbolic_reach.cpp.o.d"
+  "libgpo_bdd.a"
+  "libgpo_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpo_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

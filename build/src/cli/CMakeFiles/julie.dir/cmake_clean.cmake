@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/julie.dir/julie_main.cpp.o"
+  "CMakeFiles/julie.dir/julie_main.cpp.o.d"
+  "julie"
+  "julie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/julie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpo_core.dir/gpo.cpp.o"
+  "CMakeFiles/gpo_core.dir/gpo.cpp.o.d"
+  "CMakeFiles/gpo_core.dir/set_family.cpp.o"
+  "CMakeFiles/gpo_core.dir/set_family.cpp.o.d"
+  "libgpo_core.a"
+  "libgpo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

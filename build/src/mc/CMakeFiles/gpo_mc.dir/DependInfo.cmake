@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mc/ctl.cpp" "src/mc/CMakeFiles/gpo_mc.dir/ctl.cpp.o" "gcc" "src/mc/CMakeFiles/gpo_mc.dir/ctl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/petri/CMakeFiles/gpo_petri.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/gpo_parser.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpo_mc.dir/ctl.cpp.o"
+  "CMakeFiles/gpo_mc.dir/ctl.cpp.o.d"
+  "libgpo_mc.a"
+  "libgpo_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpo_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

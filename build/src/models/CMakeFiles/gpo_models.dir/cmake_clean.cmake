@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpo_models.dir/models.cpp.o"
+  "CMakeFiles/gpo_models.dir/models.cpp.o.d"
+  "libgpo_models.a"
+  "libgpo_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpo_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parser/net_format.cpp" "src/parser/CMakeFiles/gpo_parser.dir/net_format.cpp.o" "gcc" "src/parser/CMakeFiles/gpo_parser.dir/net_format.cpp.o.d"
+  "/root/repo/src/parser/pnml.cpp" "src/parser/CMakeFiles/gpo_parser.dir/pnml.cpp.o" "gcc" "src/parser/CMakeFiles/gpo_parser.dir/pnml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/petri/CMakeFiles/gpo_petri.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpo_parser.dir/net_format.cpp.o"
+  "CMakeFiles/gpo_parser.dir/net_format.cpp.o.d"
+  "CMakeFiles/gpo_parser.dir/pnml.cpp.o"
+  "CMakeFiles/gpo_parser.dir/pnml.cpp.o.d"
+  "libgpo_parser.a"
+  "libgpo_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpo_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

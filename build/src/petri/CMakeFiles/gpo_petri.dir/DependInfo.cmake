@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/petri/builder.cpp" "src/petri/CMakeFiles/gpo_petri.dir/builder.cpp.o" "gcc" "src/petri/CMakeFiles/gpo_petri.dir/builder.cpp.o.d"
+  "/root/repo/src/petri/conflict.cpp" "src/petri/CMakeFiles/gpo_petri.dir/conflict.cpp.o" "gcc" "src/petri/CMakeFiles/gpo_petri.dir/conflict.cpp.o.d"
+  "/root/repo/src/petri/dot.cpp" "src/petri/CMakeFiles/gpo_petri.dir/dot.cpp.o" "gcc" "src/petri/CMakeFiles/gpo_petri.dir/dot.cpp.o.d"
+  "/root/repo/src/petri/net.cpp" "src/petri/CMakeFiles/gpo_petri.dir/net.cpp.o" "gcc" "src/petri/CMakeFiles/gpo_petri.dir/net.cpp.o.d"
+  "/root/repo/src/petri/structure.cpp" "src/petri/CMakeFiles/gpo_petri.dir/structure.cpp.o" "gcc" "src/petri/CMakeFiles/gpo_petri.dir/structure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpo_petri.dir/builder.cpp.o"
+  "CMakeFiles/gpo_petri.dir/builder.cpp.o.d"
+  "CMakeFiles/gpo_petri.dir/conflict.cpp.o"
+  "CMakeFiles/gpo_petri.dir/conflict.cpp.o.d"
+  "CMakeFiles/gpo_petri.dir/dot.cpp.o"
+  "CMakeFiles/gpo_petri.dir/dot.cpp.o.d"
+  "CMakeFiles/gpo_petri.dir/net.cpp.o"
+  "CMakeFiles/gpo_petri.dir/net.cpp.o.d"
+  "CMakeFiles/gpo_petri.dir/structure.cpp.o"
+  "CMakeFiles/gpo_petri.dir/structure.cpp.o.d"
+  "libgpo_petri.a"
+  "libgpo_petri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpo_petri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

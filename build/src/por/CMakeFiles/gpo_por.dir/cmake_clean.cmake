@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpo_por.dir/stubborn.cpp.o"
+  "CMakeFiles/gpo_por.dir/stubborn.cpp.o.d"
+  "libgpo_por.a"
+  "libgpo_por.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpo_por.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

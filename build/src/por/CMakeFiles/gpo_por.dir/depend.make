@@ -1,0 +1,2 @@
+# Empty dependencies file for gpo_por.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpo_reach.dir/explorer.cpp.o"
+  "CMakeFiles/gpo_reach.dir/explorer.cpp.o.d"
+  "libgpo_reach.a"
+  "libgpo_reach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpo_reach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpo_reach.a"
+)

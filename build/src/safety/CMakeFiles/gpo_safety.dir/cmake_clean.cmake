@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpo_safety.dir/safety.cpp.o"
+  "CMakeFiles/gpo_safety.dir/safety.cpp.o.d"
+  "libgpo_safety.a"
+  "libgpo_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpo_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpo_timed.dir/parse.cpp.o"
+  "CMakeFiles/gpo_timed.dir/parse.cpp.o.d"
+  "CMakeFiles/gpo_timed.dir/timed_net.cpp.o"
+  "CMakeFiles/gpo_timed.dir/timed_net.cpp.o.d"
+  "libgpo_timed.a"
+  "libgpo_timed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpo_timed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpo_unfold.dir/unfolding.cpp.o"
+  "CMakeFiles/gpo_unfold.dir/unfolding.cpp.o.d"
+  "libgpo_unfold.a"
+  "libgpo_unfold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpo_unfold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdd_tests.dir/bdd/bdd_test.cpp.o"
+  "CMakeFiles/bdd_tests.dir/bdd/bdd_test.cpp.o.d"
+  "CMakeFiles/bdd_tests.dir/bdd/symbolic_test.cpp.o"
+  "CMakeFiles/bdd_tests.dir/bdd/symbolic_test.cpp.o.d"
+  "bdd_tests"
+  "bdd_tests.pdb"
+  "bdd_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdd_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

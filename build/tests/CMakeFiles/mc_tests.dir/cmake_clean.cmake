@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_tests.dir/mc/ctl_test.cpp.o"
+  "CMakeFiles/mc_tests.dir/mc/ctl_test.cpp.o.d"
+  "mc_tests"
+  "mc_tests.pdb"
+  "mc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

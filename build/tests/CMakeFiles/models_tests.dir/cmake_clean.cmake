@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_tests.dir/models/models_test.cpp.o"
+  "CMakeFiles/models_tests.dir/models/models_test.cpp.o.d"
+  "models_tests"
+  "models_tests.pdb"
+  "models_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parser_tests.dir/parser/net_format_test.cpp.o"
+  "CMakeFiles/parser_tests.dir/parser/net_format_test.cpp.o.d"
+  "CMakeFiles/parser_tests.dir/parser/pnml_test.cpp.o"
+  "CMakeFiles/parser_tests.dir/parser/pnml_test.cpp.o.d"
+  "parser_tests"
+  "parser_tests.pdb"
+  "parser_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parser_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

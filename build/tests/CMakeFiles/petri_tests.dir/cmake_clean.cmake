@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/petri_tests.dir/petri/conflict_test.cpp.o"
+  "CMakeFiles/petri_tests.dir/petri/conflict_test.cpp.o.d"
+  "CMakeFiles/petri_tests.dir/petri/net_test.cpp.o"
+  "CMakeFiles/petri_tests.dir/petri/net_test.cpp.o.d"
+  "CMakeFiles/petri_tests.dir/petri/structure_test.cpp.o"
+  "CMakeFiles/petri_tests.dir/petri/structure_test.cpp.o.d"
+  "petri_tests"
+  "petri_tests.pdb"
+  "petri_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/petri_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

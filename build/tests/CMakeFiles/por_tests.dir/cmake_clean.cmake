@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/por_tests.dir/por/stubborn_test.cpp.o"
+  "CMakeFiles/por_tests.dir/por/stubborn_test.cpp.o.d"
+  "por_tests"
+  "por_tests.pdb"
+  "por_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/por_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

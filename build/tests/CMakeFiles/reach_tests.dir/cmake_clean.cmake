@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_tests.dir/reach/explorer_test.cpp.o"
+  "CMakeFiles/reach_tests.dir/reach/explorer_test.cpp.o.d"
+  "reach_tests"
+  "reach_tests.pdb"
+  "reach_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

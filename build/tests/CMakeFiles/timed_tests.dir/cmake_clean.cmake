@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timed_tests.dir/timed/timed_test.cpp.o"
+  "CMakeFiles/timed_tests.dir/timed/timed_test.cpp.o.d"
+  "timed_tests"
+  "timed_tests.pdb"
+  "timed_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timed_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

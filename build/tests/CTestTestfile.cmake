@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/petri_tests[1]_include.cmake")
+include("/root/repo/build/tests/parser_tests[1]_include.cmake")
+include("/root/repo/build/tests/reach_tests[1]_include.cmake")
+include("/root/repo/build/tests/por_tests[1]_include.cmake")
+include("/root/repo/build/tests/bdd_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/safety_tests[1]_include.cmake")
+include("/root/repo/build/tests/mc_tests[1]_include.cmake")
+include("/root/repo/build/tests/timed_tests[1]_include.cmake")
+include("/root/repo/build/tests/unfold_tests[1]_include.cmake")
+include("/root/repo/build/tests/models_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
+add_test(cli_engines_fig7 "/root/repo/build/src/cli/julie" "--model" "fig7" "--engine" "all")
+set_tests_properties(cli_engines_fig7 PROPERTIES  PASS_REGULAR_EXPRESSION "gpo-bdd: states=3 DEADLOCK" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;59;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_safety_holds "/root/repo/build/src/cli/julie" "--model" "asat:2" "--safety" "crit_2,crit_3")
+set_tests_properties(cli_safety_holds PROPERTIES  PASS_REGULAR_EXPRESSION "holds" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;62;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_safety_violated "/root/repo/build/src/cli/julie" "--model" "nsdp:2" "--safety" "hasL_0,hasL_1")
+set_tests_properties(cli_safety_violated PROPERTIES  PASS_REGULAR_EXPRESSION "VIOLATED" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;65;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_ctl "/root/repo/build/src/cli/julie" "--model" "asat:2" "--ctl" "AG !(crit_2 && crit_3)")
+set_tests_properties(cli_ctl PROPERTIES  PASS_REGULAR_EXPRESSION "holds" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;68;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_structure "/root/repo/build/src/cli/julie" "--model" "nsdp:3" "--structure" "--engine" "gpo-bdd")
+set_tests_properties(cli_structure PROPERTIES  PASS_REGULAR_EXPRESSION "siphon-trap property: FAILS" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;70;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_bad_model "/root/repo/build/src/cli/julie" "--model" "nosuch:3")
+set_tests_properties(cli_bad_model PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;73;add_test;/root/repo/tests/CMakeLists.txt;0;")
