@@ -47,6 +47,10 @@ int usage(const char* argv0) {
       << "  --structure        siphon/trap and invariant analysis\n"
       << "  --max-states N     state cap for explicit engines\n"
       << "  --max-seconds S    wall-clock cap per engine\n"
+      << "  --threads N        worker threads for the exhaustive engine\n"
+      << "                     (default 1 = deterministic sequential search)\n"
+      << "  --stats            print explorer statistics (states/sec, peak\n"
+      << "                     frontier, steal count, shard occupancy)\n"
       << "  --dot FILE         write the net structure as Graphviz DOT\n"
       << "  --write-net FILE   serialize the net in .net format\n"
       << "  --write-pnml FILE  serialize the net as PNML\n"
@@ -134,11 +138,25 @@ void run_structure(const PetriNet& net) {
             << "/" << net.place_count() << " places\n";
 }
 
+void print_stats(const gpo::reach::ExplorerStats& s) {
+  std::cout << "  stats: threads=" << s.threads << " states/s="
+            << static_cast<long long>(s.states_per_second)
+            << " peak-frontier=" << s.peak_frontier;
+  if (s.threads > 1) {
+    std::cout << " steals=" << s.steal_count << " shards=" << s.shard_count
+              << " shard-occupancy=" << s.min_shard_size << "/"
+              << static_cast<long long>(s.avg_shard_size) << "/"
+              << s.max_shard_size << " (min/avg/max)";
+  }
+  std::cout << "\n";
+}
+
 void run_liveness(const PetriNet& net, std::size_t max_states,
-                  double max_seconds) {
+                  double max_seconds, std::size_t num_threads) {
   gpo::reach::ExplorerOptions opt;
   opt.max_states = max_states;
   opt.max_seconds = max_seconds;
+  opt.num_threads = num_threads;
   auto r = gpo::reach::ExplicitExplorer(net, opt).explore();
   if (r.limit_hit) {
     std::cout << "liveness: exploration hit its limit; results partial\n";
@@ -167,6 +185,8 @@ int main(int argc, char** argv) {
   bool want_liveness = false, want_structure = false;
   std::size_t max_states = SIZE_MAX;
   double max_seconds = 300.0;
+  std::size_t num_threads = 1;
+  bool want_stats = false;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -194,6 +214,11 @@ int main(int argc, char** argv) {
       max_states = std::stoul(next());
     } else if (arg == "--max-seconds") {
       max_seconds = std::stod(next());
+    } else if (arg == "--threads") {
+      num_threads = std::stoul(next());
+      if (num_threads == 0) num_threads = 1;
+    } else if (arg == "--stats") {
+      want_stats = true;
     } else if (arg == "--dot") {
       dot_file = next();
     } else if (arg == "--write-net") {
@@ -259,7 +284,7 @@ int main(int argc, char** argv) {
     return 1;
 
   if (want_structure) run_structure(*net);
-  if (want_liveness) run_liveness(*net, max_states, max_seconds);
+  if (want_liveness) run_liveness(*net, max_states, max_seconds, num_threads);
 
   if (!ctl_spec.empty()) {
     try {
@@ -323,11 +348,13 @@ int main(int argc, char** argv) {
         gpo::reach::ExplorerOptions opt;
         opt.max_states = max_states;
         opt.max_seconds = max_seconds;
+        opt.num_threads = num_threads;
         auto r = gpo::reach::ExplicitExplorer(*net, opt).explore();
         row = {e, static_cast<double>(r.state_count), 0, r.deadlock_found,
                r.limit_hit, r.seconds};
         if (r.safeness_violation)
           std::cout << "  WARNING: net is not 1-safe\n";
+        if (want_stats) print_stats(r.stats);
       } else if (e == "por") {
         gpo::por::StubbornOptions opt;
         opt.max_states = max_states;

@@ -1,5 +1,6 @@
 #include "reach/explorer.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <unordered_map>
 
@@ -22,6 +23,13 @@ std::string marking_to_string(const petri::PetriNet& net, const Marking& m) {
 }
 
 ExplorerResult ExplicitExplorer::explore() const {
+  // build_graph needs globally ordered node ids, so it stays sequential.
+  if (options_.num_threads > 1 && !options_.build_graph)
+    return explore_parallel();
+  return explore_sequential();
+}
+
+ExplorerResult ExplicitExplorer::explore_sequential() const {
   ExplorerResult result;
   result.fireable_transitions = util::Bitset(net_.transition_count());
   util::Stopwatch timer;
@@ -83,8 +91,10 @@ ExplorerResult ExplicitExplorer::explore() const {
   };
 
   bool stopped = inspect(0);
+  std::size_t peak_frontier = 1;
 
   while (!frontier.empty() && !stopped) {
+    peak_frontier = std::max(peak_frontier, frontier.size());
     if (states.size() > options_.max_states ||
         timer.elapsed_seconds() > options_.max_seconds) {
       result.limit_hit = true;
@@ -119,6 +129,10 @@ ExplorerResult ExplicitExplorer::explore() const {
 
   result.state_count = states.size();
   result.seconds = timer.elapsed_seconds();
+  result.stats.threads = 1;
+  result.stats.peak_frontier = peak_frontier;
+  if (result.seconds > 0)
+    result.stats.states_per_second = result.state_count / result.seconds;
   if (options_.build_graph) {
     result.graph.initial = 0;
     result.graph.node_labels.reserve(states.size());

@@ -24,11 +24,38 @@ struct ExplorerOptions {
   /// Stop the search at the first deadlock instead of exploring everything.
   bool stop_at_first_deadlock = false;
   /// Record the full reachability graph (states + labeled edges). Only
-  /// sensible for small nets; used by tests and DOT dumps.
+  /// sensible for small nets; used by tests and DOT dumps. Forces the
+  /// sequential path regardless of num_threads.
   bool build_graph = false;
   /// Optional safety property: exploration reports (and, with
   /// stop_at_first_deadlock, stops at) markings where this returns true.
+  /// With num_threads > 1 the predicate is invoked concurrently from worker
+  /// threads and must be thread-safe.
   std::function<bool(const petri::Marking&)> bad_state;
+  /// Worker threads. 1 (the default) keeps today's deterministic sequential
+  /// BFS; N > 1 runs the sharded parallel engine, which reports identical
+  /// counts but a nondeterministic (always replayable) counterexample.
+  std::size_t num_threads = 1;
+  /// Stripes of the concurrent marking set. 0 = auto (scales with
+  /// num_threads). Ignored on the sequential path.
+  std::size_t shard_count = 0;
+};
+
+/// Observability counters for one exploration, printed by `julie --stats`.
+struct ExplorerStats {
+  std::size_t threads = 1;
+  /// States interned per wall-clock second.
+  double states_per_second = 0;
+  /// High-water mark of discovered-but-unexpanded states.
+  std::size_t peak_frontier = 0;
+  /// Work items taken from another worker's deque (0 when sequential).
+  std::size_t steal_count = 0;
+  /// Stripes of the sharded marking set (0 when sequential).
+  std::size_t shard_count = 0;
+  /// Occupancy spread across shards after the run (0 when sequential).
+  std::size_t min_shard_size = 0;
+  std::size_t max_shard_size = 0;
+  double avg_shard_size = 0;
 };
 
 struct ExplorerResult {
@@ -59,6 +86,8 @@ struct ExplorerResult {
   bool limit_hit = false;
   double seconds = 0.0;
 
+  ExplorerStats stats;
+
   /// Populated when ExplorerOptions::build_graph is set. Node labels are
   /// marking renderings; edge labels transition names.
   petri::LabeledGraph graph;
@@ -66,6 +95,8 @@ struct ExplorerResult {
 
 /// Explores the reachable markings of a safe Petri net breadth-first.
 /// The instance is single-use per call but stateless between calls.
+/// With ExplorerOptions::num_threads > 1 (and build_graph off) the
+/// exploration runs on the sharded parallel engine instead.
 class ExplicitExplorer {
  public:
   explicit ExplicitExplorer(const petri::PetriNet& net,
@@ -75,6 +106,9 @@ class ExplicitExplorer {
   [[nodiscard]] ExplorerResult explore() const;
 
  private:
+  [[nodiscard]] ExplorerResult explore_sequential() const;
+  [[nodiscard]] ExplorerResult explore_parallel() const;
+
   const petri::PetriNet& net_;
   ExplorerOptions options_;
 };

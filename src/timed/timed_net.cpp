@@ -187,7 +187,6 @@ StateClass StateClassExplorer::fire(const StateClass& c,
 TimedResult StateClassExplorer::explore() const {
   TimedResult result;
   util::Stopwatch timer;
-  const petri::PetriNet& net = tnet_.net();
 
   struct ClassHash {
     std::size_t operator()(const StateClass& c) const { return c.hash(); }

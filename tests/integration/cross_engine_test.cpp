@@ -98,7 +98,9 @@ TEST_P(RandomAgreement, AllEnginesMatchGroundTruth) {
     if (!ge.limit_hit) {
       EXPECT_EQ(ge.deadlock_found, ground.deadlock_found)
           << "GPO-explicit seed=" << seed;
-      if (ge.deadlock_found) EXPECT_TRUE(ge.witness_is_dead) << seed;
+      if (ge.deadlock_found) {
+        EXPECT_TRUE(ge.witness_is_dead) << seed;
+      }
     }
     auto gb = core::run_gpo(net, core::FamilyKind::kBdd, go);
     if (!gb.limit_hit) {

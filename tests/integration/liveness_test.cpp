@@ -104,10 +104,11 @@ TEST(Liveness, RandomNetCertificatesAreSound) {
     core::GpoOptions go;
     go.max_seconds = 20;
     auto gpo_r = core::run_gpo(net, core::FamilyKind::kExplicit, go);
-    if (!gpo_r.limit_hit)
+    if (!gpo_r.limit_hit) {
       EXPECT_TRUE(gpo_r.fireable_transitions.is_subset_of(
           ground.fireable_transitions))
           << "GPO seed=" << seed;
+    }
   }
 }
 

@@ -1,0 +1,175 @@
+// Cross-checks for the parallel sharded explorer: on every net the parallel
+// engine (2/4/8 workers) must report exactly the counts of the sequential
+// ground truth, and its counterexamples must replay. These tests carry the
+// ctest label "parallel" so the TSan CI job can run precisely this binary.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "models/models.hpp"
+#include "parser/net_format.hpp"
+#include "petri/builder.hpp"
+#include "reach/explorer.hpp"
+
+namespace gpo::reach {
+namespace {
+
+using petri::Marking;
+using petri::PetriNet;
+
+constexpr std::size_t kThreadCounts[] = {2, 4, 8};
+
+void expect_matches_sequential(const PetriNet& net, const std::string& what) {
+  ExplorerResult seq = ExplicitExplorer(net).explore();
+  ASSERT_FALSE(seq.limit_hit) << what;
+  for (std::size_t threads : kThreadCounts) {
+    ExplorerOptions opt;
+    opt.num_threads = threads;
+    ExplorerResult par = ExplicitExplorer(net, opt).explore();
+    const std::string ctx = what + " threads=" + std::to_string(threads);
+    EXPECT_FALSE(par.limit_hit) << ctx;
+    EXPECT_EQ(par.state_count, seq.state_count) << ctx;
+    EXPECT_EQ(par.edge_count, seq.edge_count) << ctx;
+    EXPECT_EQ(par.deadlock_count, seq.deadlock_count) << ctx;
+    EXPECT_EQ(par.deadlock_found, seq.deadlock_found) << ctx;
+    EXPECT_EQ(par.fireable_transitions, seq.fireable_transitions) << ctx;
+    EXPECT_EQ(par.safeness_violation, seq.safeness_violation) << ctx;
+    EXPECT_EQ(par.stats.threads, threads) << ctx;
+    if (par.deadlock_found) {
+      // The parallel engine may pick a different deadlock than sequential
+      // BFS, but its counterexample must replay to a real one.
+      Marking m = net.initial_marking();
+      for (petri::TransitionId t : par.counterexample) {
+        ASSERT_TRUE(net.enabled(t, m)) << ctx;
+        m = net.fire(t, m);
+      }
+      EXPECT_EQ(m, *par.first_deadlock) << ctx;
+      EXPECT_TRUE(net.is_deadlocked(m)) << ctx;
+    }
+  }
+}
+
+TEST(ParallelExplorer, MatchesSequentialOnBenchmarkFamilies) {
+  expect_matches_sequential(models::make_diamond(8), "diamond(8)");
+  expect_matches_sequential(models::make_conflict_chain(4), "chain(4)");
+  expect_matches_sequential(models::make_nsdp(4), "nsdp(4)");
+  expect_matches_sequential(models::make_arbiter_tree(4), "asat(4)");
+  expect_matches_sequential(models::make_overtake(3), "over(3)");
+  expect_matches_sequential(models::make_readers_writers(6), "rw(6)");
+  expect_matches_sequential(models::make_cyclic_scheduler(6), "cys(6)");
+  expect_matches_sequential(models::make_slotted_ring(4), "ring(4)");
+}
+
+TEST(ParallelExplorer, MatchesSequentialOnExampleNets) {
+  for (const char* name :
+       {"fig7.net", "nsdp4.net", "overtake3.net", "readers_writers6.net"}) {
+    PetriNet net = parser::parse_net_file(std::string(GPO_EXAMPLES_NETS_DIR) +
+                                          "/" + name);
+    expect_matches_sequential(net, name);
+  }
+}
+
+TEST(ParallelExplorer, MatchesSequentialOnRandomNets) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    models::RandomNetParams params;
+    params.machines = 4;
+    params.states_per_machine = 4;
+    params.transitions = 18;
+    params.seed = seed;
+    expect_matches_sequential(models::make_random_net(params),
+                              "random(seed=" + std::to_string(seed) + ")");
+  }
+}
+
+TEST(ParallelExplorer, CounterexampleReplaysToDeadlock) {
+  PetriNet net = models::make_nsdp(4);
+  ExplorerOptions opt;
+  opt.num_threads = 4;
+  auto result = ExplicitExplorer(net, opt).explore();
+  ASSERT_TRUE(result.deadlock_found);
+  Marking m = net.initial_marking();
+  for (petri::TransitionId t : result.counterexample) {
+    ASSERT_TRUE(net.enabled(t, m));
+    m = net.fire(t, m);
+  }
+  EXPECT_EQ(m, *result.first_deadlock);
+  EXPECT_TRUE(net.is_deadlocked(m));
+}
+
+TEST(ParallelExplorer, StopAtFirstDeadlockStopsEarly) {
+  PetriNet net = models::make_nsdp(4);
+  ExplorerOptions opt;
+  opt.num_threads = 4;
+  opt.stop_at_first_deadlock = true;
+  auto early = ExplicitExplorer(net, opt).explore();
+  auto full = ExplicitExplorer(net).explore();
+  EXPECT_TRUE(early.deadlock_found);
+  EXPECT_LE(early.state_count, full.state_count);
+}
+
+TEST(ParallelExplorer, StateLimitHonoredCooperatively) {
+  ExplorerOptions opt;
+  opt.max_states = 10;
+  opt.num_threads = 4;
+  auto result = ExplicitExplorer(models::make_nsdp(6), opt).explore();
+  EXPECT_TRUE(result.limit_hit);
+  // Each worker may overshoot by the batch in flight before it notices the
+  // shared stop flag.
+  EXPECT_LE(result.state_count, 10u + 4 * 30u);
+}
+
+TEST(ParallelExplorer, BadStatePredicate) {
+  PetriNet net = models::make_nsdp(2);
+  petri::PlaceId eat0 = net.find_place("eat_0");
+  ExplorerOptions opt;
+  opt.num_threads = 4;
+  opt.bad_state = [eat0](const Marking& m) { return m.test(eat0); };
+  auto result = ExplicitExplorer(net, opt).explore();
+  EXPECT_TRUE(result.bad_state_found);
+  ASSERT_TRUE(result.first_bad_state.has_value());
+  EXPECT_TRUE(result.first_bad_state->test(eat0));
+}
+
+TEST(ParallelExplorer, DetectsSafenessViolation) {
+  // Same non-1-safe net as the sequential test: both a and b feed p2.
+  petri::NetBuilder b;
+  auto p0 = b.add_place("p0", true);
+  auto p1 = b.add_place("p1", true);
+  auto p2 = b.add_place("p2");
+  auto ta = b.add_transition("a");
+  b.connect(ta, {p0}, {p2});
+  auto tb = b.add_transition("b");
+  b.connect(tb, {p1}, {p2});
+  PetriNet net = b.build();
+  ExplorerOptions opt;
+  opt.num_threads = 2;
+  auto result = ExplicitExplorer(net, opt).explore();
+  EXPECT_TRUE(result.safeness_violation);
+  ASSERT_TRUE(result.unsafe_source.has_value());
+}
+
+TEST(ParallelExplorer, StatsBlockPopulated) {
+  ExplorerOptions opt;
+  opt.num_threads = 4;
+  auto result = ExplicitExplorer(models::make_readers_writers(6), opt).explore();
+  EXPECT_EQ(result.stats.threads, 4u);
+  EXPECT_GE(result.stats.shard_count, 16u);
+  EXPECT_GT(result.stats.states_per_second, 0.0);
+  EXPECT_GT(result.stats.peak_frontier, 0u);
+  EXPECT_GT(result.stats.max_shard_size, 0u);
+  EXPECT_GE(result.stats.max_shard_size, result.stats.min_shard_size);
+}
+
+TEST(ParallelExplorer, BuildGraphFallsBackToSequential) {
+  ExplorerOptions opt;
+  opt.num_threads = 4;
+  opt.build_graph = true;
+  auto result = ExplicitExplorer(models::make_fig7(), opt).explore();
+  EXPECT_EQ(result.stats.threads, 1u);  // sequential path was taken
+  EXPECT_EQ(result.graph.node_labels.size(), result.state_count);
+  EXPECT_EQ(result.graph.edges.size(), result.edge_count);
+}
+
+}  // namespace
+}  // namespace gpo::reach

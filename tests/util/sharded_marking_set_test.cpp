@@ -1,0 +1,119 @@
+#include "util/sharded_marking_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace gpo::util {
+namespace {
+
+Bitset make_marking(std::size_t universe, std::size_t value) {
+  Bitset m(universe);
+  for (std::size_t b = 0; b < universe && value != 0; ++b, value >>= 1)
+    if (value & 1) m.set(b);
+  return m;
+}
+
+TEST(ShardedMarkingSet, InsertInternsAndDedupes) {
+  ShardedMarkingSet set(4);
+  auto [id1, fresh1] = set.insert(make_marking(16, 5), 0, 7);
+  EXPECT_TRUE(fresh1);
+  auto [id2, fresh2] = set.insert(make_marking(16, 9), 0, 8);
+  EXPECT_TRUE(fresh2);
+  EXPECT_NE(id1, id2);
+  // Re-inserting an existing marking returns the original id and keeps the
+  // original breadcrumb (first writer wins).
+  auto [id3, fresh3] = set.insert(make_marking(16, 5), id2, 99);
+  EXPECT_FALSE(fresh3);
+  EXPECT_EQ(id3, id1);
+  EXPECT_EQ(set.entry(id1).via, 7u);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(ShardedMarkingSet, ParentChainWalksBackToRoot) {
+  ShardedMarkingSet set(2);
+  auto [root, fresh] =
+      set.insert(make_marking(8, 1), ShardedMarkingSet::kNoParent, UINT32_MAX);
+  ASSERT_TRUE(fresh);
+  auto [a, fa] = set.insert(make_marking(8, 2), root, 0);
+  ASSERT_TRUE(fa);
+  auto [b, fb] = set.insert(make_marking(8, 4), a, 1);
+  ASSERT_TRUE(fb);
+
+  std::vector<std::uint32_t> path;
+  for (auto s = b; set.entry(s).parent != ShardedMarkingSet::kNoParent;
+       s = set.entry(s).parent)
+    path.push_back(set.entry(s).via);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], 1u);
+  EXPECT_EQ(path[1], 0u);
+}
+
+TEST(ShardedMarkingSet, GrowsPastSlotAndChunkBoundaries) {
+  // 20k distinct markings through 1 shard: exercises open-addressing growth
+  // (initial 1024 slots) and multiple 4096-entry arena chunks.
+  ShardedMarkingSet set(1);
+  const std::size_t n = 20'000;
+  std::vector<ShardedMarkingSet::StateId> ids;
+  ids.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    auto [id, fresh] = set.insert(make_marking(32, v + 1), v, 3);
+    ASSERT_TRUE(fresh) << v;
+    ids.push_back(id);
+  }
+  EXPECT_EQ(set.size(), n);
+  // Every marking still resolves to its original id and entry.
+  for (std::size_t v = 0; v < n; v += 997) {
+    auto [id, fresh] = set.insert(make_marking(32, v + 1), 0, 0);
+    EXPECT_FALSE(fresh);
+    EXPECT_EQ(id, ids[v]);
+    EXPECT_EQ(set.entry(id).marking, make_marking(32, v + 1));
+    EXPECT_EQ(set.entry(id).parent, v);
+  }
+}
+
+TEST(ShardedMarkingSet, ShardSizesSumToSize) {
+  ShardedMarkingSet set(8);
+  EXPECT_EQ(set.shard_count(), 8u);
+  for (std::size_t v = 1; v <= 500; ++v) set.insert(make_marking(24, v), 0, 0);
+  std::size_t sum = 0;
+  for (std::size_t s : set.shard_sizes()) sum += s;
+  EXPECT_EQ(sum, set.size());
+  EXPECT_EQ(set.size(), 500u);
+}
+
+TEST(ShardedMarkingSet, ConcurrentInsertersAgreeOnIds) {
+  // 4 threads race to insert overlapping ranges; afterwards the set must
+  // contain each distinct marking exactly once, with one id per marking.
+  ShardedMarkingSet set(8);
+  constexpr std::size_t kDistinct = 4'000;
+  constexpr std::size_t kThreads = 4;
+  std::atomic<std::size_t> fresh_total{0};
+  std::vector<std::thread> pool;
+  for (std::size_t w = 0; w < kThreads; ++w) {
+    pool.emplace_back([&set, &fresh_total, w] {
+      std::size_t fresh_here = 0;
+      // Each worker covers the full range, offset so collisions interleave.
+      for (std::size_t k = 0; k < kDistinct; ++k) {
+        std::size_t v = (k + w * (kDistinct / kThreads)) % kDistinct;
+        auto [id, fresh] = set.insert(make_marking(32, v + 1), v, 1);
+        (void)id;
+        if (fresh) ++fresh_here;
+      }
+      fresh_total.fetch_add(fresh_here);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(set.size(), kDistinct);
+  EXPECT_EQ(fresh_total.load(), kDistinct);
+  for (std::size_t v = 0; v < kDistinct; v += 13) {
+    auto [id, fresh] = set.insert(make_marking(32, v + 1), 0, 0);
+    EXPECT_FALSE(fresh);
+    EXPECT_EQ(set.entry(id).marking, make_marking(32, v + 1));
+  }
+}
+
+}  // namespace
+}  // namespace gpo::util
