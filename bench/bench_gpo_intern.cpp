@@ -1,0 +1,193 @@
+// Interner ablation driver: runs the GPO engine twice per model — once on the
+// seed ExplicitFamily path (deep-copied families, per-probe re-hashing) and
+// once on FamilyKind::kInterned (hash-consed families, memoized op cache) —
+// over the Fig-1 diamond, Fig-2 conflict chain and the four Table-1 families,
+// checks the verdicts match, and emits BENCH_gpo.json so the perf trajectory
+// can be charted across PRs.
+//
+// Usage: bench_gpo_intern [--smoke] [--max-seconds S] [--out FILE]
+//   --smoke        small instances + tight budget (CI bench-smoke job)
+//   --max-seconds  per-engine wall-clock budget (default 60)
+//   --out          JSON output path (default BENCH_gpo.json)
+//
+// JSON schema (schema_version 1):
+//   { "schema_version": 1, "benchmark": "bench_gpo_intern", "smoke": bool,
+//     "models": [ { "model": str, "states": int, "seed_wall_ms": float,
+//                   "interned_wall_ms": float, "speedup": float,
+//                   "peak_families": int, "intern_calls": int,
+//                   "dedup_ratio": float, "op_cache_hit_rate": float,
+//                   "families_bytes": int, "verdicts_match": bool } ] }
+// Exit status: 0 on success, 1 on any seed/interned verdict mismatch.
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/gpo.hpp"
+#include "models/models.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using gpo::petri::PetriNet;
+
+struct Row {
+  std::string model;
+  std::size_t states = 0;
+  double seed_ms = 0;
+  double interned_ms = 0;
+  std::size_t peak_families = 0;
+  std::size_t intern_calls = 0;
+  double dedup_ratio = 0;
+  double op_cache_hit_rate = 0;
+  std::size_t families_bytes = 0;
+  bool verdicts_match = true;
+
+  [[nodiscard]] double speedup() const {
+    return interned_ms > 0 ? seed_ms / interned_ms : 0.0;
+  }
+};
+
+Row run_row(const std::string& label, const PetriNet& net, double budget) {
+  Row row;
+  row.model = label;
+  gpo::core::GpoOptions opt;
+  opt.max_seconds = budget;
+
+  gpo::util::Stopwatch seed_timer;
+  auto seed = gpo::core::run_gpo(net, gpo::core::FamilyKind::kExplicit, opt);
+  row.seed_ms = seed_timer.elapsed_seconds() * 1000.0;
+
+  gpo::util::Stopwatch interned_timer;
+  auto interned =
+      gpo::core::run_gpo(net, gpo::core::FamilyKind::kInterned, opt);
+  row.interned_ms = interned_timer.elapsed_seconds() * 1000.0;
+
+  row.states = interned.state_count;
+  row.peak_families = interned.family_stats.distinct_families;
+  row.intern_calls = interned.family_stats.intern_calls;
+  row.dedup_ratio = interned.family_stats.dedup_ratio;
+  row.op_cache_hit_rate = interned.family_stats.op_cache_hit_rate;
+  row.families_bytes = interned.family_stats.families_bytes;
+  row.verdicts_match = seed.state_count == interned.state_count &&
+                       seed.deadlock_found == interned.deadlock_found &&
+                       seed.multiple_steps == interned.multiple_steps &&
+                       seed.single_steps == interned.single_steps &&
+                       seed.counterexample == interned.counterexample &&
+                       !interned.limit_hit == !seed.limit_hit;
+  return row;
+}
+
+std::string json_number(double v) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(4) << v;
+  return ss.str();
+}
+
+void write_json(std::ostream& out, const std::vector<Row>& rows, bool smoke) {
+  out << "{\n"
+      << "  \"schema_version\": 1,\n"
+      << "  \"benchmark\": \"bench_gpo_intern\",\n"
+      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+      << "  \"models\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\n"
+        << "      \"model\": \"" << r.model << "\",\n"
+        << "      \"states\": " << r.states << ",\n"
+        << "      \"seed_wall_ms\": " << json_number(r.seed_ms) << ",\n"
+        << "      \"interned_wall_ms\": " << json_number(r.interned_ms)
+        << ",\n"
+        << "      \"speedup\": " << json_number(r.speedup()) << ",\n"
+        << "      \"peak_families\": " << r.peak_families << ",\n"
+        << "      \"intern_calls\": " << r.intern_calls << ",\n"
+        << "      \"dedup_ratio\": " << json_number(r.dedup_ratio) << ",\n"
+        << "      \"op_cache_hit_rate\": " << json_number(r.op_cache_hit_rate)
+        << ",\n"
+        << "      \"families_bytes\": " << r.families_bytes << ",\n"
+        << "      \"verdicts_match\": " << (r.verdicts_match ? "true" : "false")
+        << "\n"
+        << "    }" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  double budget = 60.0;
+  std::string out_path = "BENCH_gpo.json";
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--smoke")) smoke = true;
+    if (!std::strcmp(argv[i], "--max-seconds") && i + 1 < argc)
+      budget = std::stod(argv[++i]);
+    if (!std::strcmp(argv[i], "--out") && i + 1 < argc) out_path = argv[++i];
+  }
+  if (smoke && budget > 5.0) budget = 5.0;
+
+  struct Instance {
+    std::string label;
+    PetriNet net;
+  };
+  std::vector<Instance> instances;
+  using namespace gpo::models;
+  if (smoke) {
+    instances.push_back({"diamond:4", make_diamond(4)});
+    instances.push_back({"chain:8", make_conflict_chain(8)});
+    instances.push_back({"nsdp:4", make_nsdp(4)});
+    instances.push_back({"asat:4", make_arbiter_tree(4)});
+    instances.push_back({"over:3", make_overtake(3)});
+    instances.push_back({"rw:6", make_readers_writers(6)});
+  } else {
+    instances.push_back({"diamond:8", make_diamond(8)});
+    instances.push_back({"chain:10", make_conflict_chain(10)});
+    instances.push_back({"chain:14", make_conflict_chain(14)});
+    instances.push_back({"nsdp:6", make_nsdp(6)});
+    instances.push_back({"nsdp:8", make_nsdp(8)});
+    instances.push_back({"asat:8", make_arbiter_tree(8)});
+    instances.push_back({"over:4", make_overtake(4)});
+    instances.push_back({"rw:8", make_readers_writers(8)});
+    instances.push_back({"rw:12", make_readers_writers(12)});
+  }
+
+  std::vector<Row> rows;
+  bool all_match = true;
+  std::cout << std::left << std::setw(12) << "model" << std::right
+            << std::setw(8) << "states" << std::setw(12) << "seed-ms"
+            << std::setw(12) << "intern-ms" << std::setw(9) << "speedup"
+            << std::setw(10) << "families" << std::setw(8) << "dedup"
+            << std::setw(7) << "hit%" << std::setw(12) << "fam-bytes"
+            << "\n";
+  for (const Instance& inst : instances) {
+    Row row = run_row(inst.label, inst.net, budget);
+    std::cout << std::left << std::setw(12) << row.model << std::right
+              << std::setw(8) << row.states << std::setw(12) << std::fixed
+              << std::setprecision(2) << row.seed_ms << std::setw(12)
+              << row.interned_ms << std::setw(8) << std::setprecision(1)
+              << row.speedup() << "x" << std::setw(10) << row.peak_families
+              << std::setw(8) << std::setprecision(2) << row.dedup_ratio
+              << std::setw(6)
+              << static_cast<int>(row.op_cache_hit_rate * 100) << "%"
+              << std::setw(12) << row.families_bytes
+              << (row.verdicts_match ? "" : "  VERDICT MISMATCH") << "\n";
+    all_match &= row.verdicts_match;
+    rows.push_back(std::move(row));
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  write_json(out, rows, smoke);
+  std::cout << "JSON written to " << out_path << "\n";
+  if (!all_match) {
+    std::cerr << "ERROR: seed/interned verdict mismatch\n";
+    return 1;
+  }
+  return 0;
+}

@@ -38,8 +38,8 @@ int usage(const char* argv0) {
       << "  --model NAME:N     built-in model instead of a net file; NAME in\n"
       << "                     {nsdp, asat, over, rw, diamond, chain,\n"
       << "                      fig3, fig5, fig7}\n"
-      << "  --engine E         full | por | bdd | gpo | gpo-bdd | unfold |\n"
-      << "                     all\n"
+      << "  --engine E         full | por | bdd | gpo | gpo-intern |\n"
+      << "                     gpo-bdd | unfold | all\n"
       << "                     (default: gpo)\n"
       << "  --safety P1,P2,..  check 'P1..Pk never simultaneously marked'\n"
       << "                     via the deadlock reduction (uses --engine)\n"
@@ -50,7 +50,9 @@ int usage(const char* argv0) {
       << "  --threads N        worker threads for the exhaustive engine\n"
       << "                     (default 1 = deterministic sequential search)\n"
       << "  --stats            print explorer statistics (states/sec, peak\n"
-      << "                     frontier, steal count, shard occupancy)\n"
+      << "                     frontier, steal count, shard occupancy; with\n"
+      << "                     gpo-intern: interner size, dedup ratio,\n"
+      << "                     op-cache hit rate, family bytes)\n"
       << "  --dot FILE         write the net structure as Graphviz DOT\n"
       << "  --write-net FILE   serialize the net in .net format\n"
       << "  --write-pnml FILE  serialize the net as PNML\n"
@@ -149,6 +151,15 @@ void print_stats(const gpo::reach::ExplorerStats& s) {
               << s.max_shard_size << " (min/avg/max)";
   }
   std::cout << "\n";
+}
+
+void print_family_stats(const gpo::core::GpoFamilyStats& s) {
+  std::cout << "  family-interner: families=" << s.distinct_families
+            << " interned=" << s.intern_calls << " dedup="
+            << s.dedup_ratio << "x op-cache-hit="
+            << static_cast<long long>(s.op_cache_hit_rate * 100) << "% ("
+            << s.op_cache_hits << "/" << (s.op_cache_hits + s.op_cache_misses)
+            << ") family-bytes=" << s.families_bytes << "\n";
 }
 
 void run_liveness(const PetriNet& net, std::size_t max_states,
@@ -326,7 +337,9 @@ int main(int argc, char** argv) {
                  : engine == "por" ? gpo::safety::Engine::kStubborn
                  : engine == "bdd" ? gpo::safety::Engine::kSymbolic
                  : engine == "gpo" ? gpo::safety::Engine::kGpo
-                                   : gpo::safety::Engine::kGpoBdd;
+                 : engine == "gpo-intern"
+                     ? gpo::safety::Engine::kGpoInterned
+                     : gpo::safety::Engine::kGpoBdd;
     auto r = gpo::safety::check_safety(*net, prop, opt);
     std::cout << "safety '" << safety_spec << "': "
               << (r.violated ? "VIOLATED" : (r.limit_hit ? "UNDECIDED (limit)"
@@ -376,15 +389,18 @@ int main(int argc, char** argv) {
                   << " cutoffs=" << p.cutoff_count
                   << (p.limit_hit ? " (limit hit)" : "") << "\n";
         return;
-      } else if (e == "gpo" || e == "gpo-bdd") {
+      } else if (e == "gpo" || e == "gpo-bdd" || e == "gpo-intern") {
         gpo::core::GpoOptions opt;
         opt.max_states = max_states;
         opt.max_seconds = max_seconds;
-        auto kind = e == "gpo" ? gpo::core::FamilyKind::kExplicit
-                               : gpo::core::FamilyKind::kBdd;
+        auto kind = e == "gpo"       ? gpo::core::FamilyKind::kExplicit
+                    : e == "gpo-bdd" ? gpo::core::FamilyKind::kBdd
+                                     : gpo::core::FamilyKind::kInterned;
         auto r = gpo::core::run_gpo(*net, kind, opt);
         row = {e, static_cast<double>(r.state_count), 0, r.deadlock_found,
                r.limit_hit, r.seconds};
+        if (want_stats && r.family_stats.available)
+          print_family_stats(r.family_stats);
       } else {
         std::cerr << "unknown engine '" << e << "'\n";
         exit(2);
@@ -398,7 +414,8 @@ int main(int argc, char** argv) {
   };
 
   if (engine == "all") {
-    for (const char* e : {"full", "por", "bdd", "gpo", "gpo-bdd", "unfold"})
+    for (const char* e :
+         {"full", "por", "bdd", "gpo", "gpo-intern", "gpo-bdd", "unfold"})
       run_one(e);
   } else {
     run_one(engine);

@@ -1,0 +1,347 @@
+// Hash-consed set-family interner with a memoized operation cache.
+//
+// The GPO engine's states hold one family per place plus the valid-set family
+// r, and successor families are small edits of their parents: across a run the
+// same canonical families recur massively (r0 alone appears in every initially
+// marked place of every early state). Storing each distinct family once and
+// referring to it by a 32-bit FamilyId turns
+//   * deep per-place copies into id copies,
+//   * family equality into id comparison, and
+//   * visited-set hashing into a flat pass over ids (the content hash is
+//     computed once, at intern time).
+// On top of the unique table sits a BDD-style computed table: a bounded,
+// direct-mapped cache mapping (op, FamilyId, FamilyId) -> FamilyId for
+// intersect/unite/subtract/containing, the four operations that dominate the
+// multiple-firing rule. Both ideas are lifted verbatim from OBDD packages
+// (see src/bdd/bdd.cpp), where they are the difference between exponential
+// and near-linear behaviour.
+//
+// InternedFamily is the third interchangeable family representation (next to
+// ExplicitFamily and BddFamily in set_family.hpp): a {interner, id} handle
+// satisfying the same compile-time interface, so GpnAnalyzer<InternedFamily>
+// runs on interned states — GpnState<InternedFamily> is effectively
+// {vector<FamilyId> marking, FamilyId r} — with no engine changes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "core/gpo_result.hpp"
+#include "core/set_family.hpp"
+#include "util/hash.hpp"
+
+namespace gpo::core {
+
+/// Index of a canonical family inside a FamilyInterner's arena.
+using FamilyId = std::uint32_t;
+
+/// The empty family is interned first, so its id is fixed; emptiness tests
+/// become an id comparison.
+inline constexpr FamilyId kEmptyFamilyId = 0;
+inline constexpr FamilyId kInvalidFamilyId = 0xFFFFFFFFu;
+
+/// Counters the interner keeps while an analysis runs; surfaced through
+/// GpoResult::family_stats and the bench_gpo_intern driver.
+struct FamilyInternerStats {
+  std::size_t distinct_families = 0;  ///< arena size (== peak, nothing is freed)
+  std::size_t intern_calls = 0;       ///< families presented for interning
+  std::size_t op_cache_hits = 0;
+  std::size_t op_cache_misses = 0;
+  std::size_t families_bytes = 0;  ///< payload bytes of the canonical arena
+
+  /// Families that would have been constructed/stored without hash-consing,
+  /// per family actually stored.
+  [[nodiscard]] double dedup_ratio() const {
+    return distinct_families == 0
+               ? 0.0
+               : static_cast<double>(intern_calls) /
+                     static_cast<double>(distinct_families);
+  }
+  [[nodiscard]] double op_cache_hit_rate() const {
+    std::size_t total = op_cache_hits + op_cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(op_cache_hits) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Arena-backed unique table of canonical ExplicitFamily values plus the
+/// memoized family operations. Non-copyable and non-movable: ids and the
+/// unique table's hasher refer back into the arena.
+class FamilyInterner {
+ public:
+  explicit FamilyInterner(std::size_t num_transitions,
+                          std::size_t op_cache_entries = std::size_t{1} << 16)
+      : num_transitions_(num_transitions),
+        base_(num_transitions),
+        table_(16, IdHash{this}, IdEq{this}) {
+    // Round the computed-table size to a power of two for mask indexing.
+    std::size_t entries = 1;
+    while (entries < op_cache_entries) entries <<= 1;
+    op_cache_.resize(entries);
+    op_cache_mask_ = entries - 1;
+    (void)intern(base_.empty());  // pin kEmptyFamilyId == 0
+  }
+
+  FamilyInterner(const FamilyInterner&) = delete;
+  FamilyInterner& operator=(const FamilyInterner&) = delete;
+
+  [[nodiscard]] std::size_t num_transitions() const { return num_transitions_; }
+
+  /// Canonicalizes `f`: returns the id of the arena family equal to it,
+  /// storing it first if it is new. The content hash is computed once here
+  /// and cached for the family's lifetime.
+  FamilyId intern(ExplicitFamily f) {
+    ++stats_.intern_calls;
+    if (families_.size() > static_cast<std::size_t>(kInvalidFamilyId) - 1)
+      throw std::length_error("FamilyInterner: id space exhausted");
+    FamilyId cand = static_cast<FamilyId>(families_.size());
+    hashes_.push_back(f.hash());
+    families_.push_back(std::move(f));
+    auto [it, inserted] = table_.insert(cand);
+    if (!inserted) {  // already canonical: drop the duplicate
+      families_.pop_back();
+      hashes_.pop_back();
+      return *it;
+    }
+    stats_.families_bytes += families_.back().memory_bytes();
+    return cand;
+  }
+
+  [[nodiscard]] const ExplicitFamily& family(FamilyId id) const {
+    return families_[id];
+  }
+  /// The content hash cached at intern time.
+  [[nodiscard]] std::size_t hash_of(FamilyId id) const { return hashes_[id]; }
+  [[nodiscard]] std::size_t size() const { return families_.size(); }
+  [[nodiscard]] bool is_empty(FamilyId id) const {
+    return id == kEmptyFamilyId;
+  }
+
+  // -- family constructors (canonicalized on entry) -------------------------
+
+  FamilyId empty() { return kEmptyFamilyId; }
+  FamilyId single(const TransitionSet& set) { return intern(base_.single(set)); }
+  FamilyId from_sets(std::vector<TransitionSet> sets) {
+    return intern(base_.from_sets(std::move(sets)));
+  }
+  FamilyId initial_valid_sets(const petri::ConflictInfo& conflicts) {
+    return intern(base_.initial_valid_sets(conflicts));
+  }
+
+  // -- memoized operations --------------------------------------------------
+
+  FamilyId intersect(FamilyId a, FamilyId b) {
+    if (a == b) return a;
+    if (a == kEmptyFamilyId || b == kEmptyFamilyId) return kEmptyFamilyId;
+    if (a > b) std::swap(a, b);  // commutative: canonical operand order
+    return cached_apply(kOpIntersect, a, b);
+  }
+  FamilyId unite(FamilyId a, FamilyId b) {
+    if (a == b || b == kEmptyFamilyId) return a;
+    if (a == kEmptyFamilyId) return b;
+    if (a > b) std::swap(a, b);
+    return cached_apply(kOpUnite, a, b);
+  }
+  FamilyId subtract(FamilyId a, FamilyId b) {
+    if (b == kEmptyFamilyId) return a;
+    if (a == kEmptyFamilyId || a == b) return kEmptyFamilyId;
+    return cached_apply(kOpSubtract, a, b);
+  }
+  FamilyId containing(FamilyId a, petri::TransitionId t) {
+    if (a == kEmptyFamilyId) return kEmptyFamilyId;
+    return cached_apply(kOpContaining, a, static_cast<FamilyId>(t));
+  }
+
+  /// Disabling the computed table forces every operation through the plain
+  /// ExplicitFamily algebra + intern(); because intern() canonicalizes, the
+  /// resulting arena and id assignment are byte-identical either way — the
+  /// property test relies on this.
+  void set_op_cache_enabled(bool enabled) { op_cache_enabled_ = enabled; }
+  [[nodiscard]] bool op_cache_enabled() const { return op_cache_enabled_; }
+  [[nodiscard]] std::size_t op_cache_entries() const {
+    return op_cache_.size();
+  }
+
+  [[nodiscard]] FamilyInternerStats stats() const {
+    FamilyInternerStats s = stats_;
+    s.distinct_families = families_.size();
+    return s;
+  }
+
+ private:
+  enum Op : std::uint8_t {
+    kOpIntersect = 0,
+    kOpUnite = 1,
+    kOpSubtract = 2,
+    kOpContaining = 3,
+  };
+
+  /// One computed-table slot. Direct-mapped: a colliding result simply
+  /// overwrites the previous tenant (bounded memory, no eviction scans);
+  /// a recomputation after overwrite re-interns to the same id.
+  struct CacheEntry {
+    FamilyId a = kInvalidFamilyId;  // kInvalidFamilyId marks an empty slot
+    FamilyId b = 0;
+    FamilyId result = 0;
+    std::uint8_t op = 0;
+  };
+
+  FamilyId cached_apply(Op op, FamilyId a, FamilyId b) {
+    std::size_t slot = 0;
+    if (op_cache_enabled_) {
+      slot = static_cast<std::size_t>(
+                 util::mix64((std::uint64_t{a} << 34) ^
+                             (std::uint64_t{op} << 32) ^ std::uint64_t{b})) &
+             op_cache_mask_;
+      const CacheEntry& e = op_cache_[slot];
+      if (e.a == a && e.b == b && e.op == op) {
+        ++stats_.op_cache_hits;
+        return e.result;
+      }
+      ++stats_.op_cache_misses;
+    }
+    const ExplicitFamily& fa = families_[a];
+    ExplicitFamily r = op == kOpIntersect ? fa.intersect(families_[b])
+                       : op == kOpUnite   ? fa.unite(families_[b])
+                       : op == kOpSubtract
+                           ? fa.subtract(families_[b])
+                           : fa.containing(static_cast<petri::TransitionId>(b));
+    FamilyId id = intern(std::move(r));
+    if (op_cache_enabled_) op_cache_[slot] = {a, b, id, op};
+    return id;
+  }
+
+  /// Unique-table hash/equality look through the id into the arena; the
+  /// hash is the one cached at intern time, never recomputed.
+  struct IdHash {
+    const FamilyInterner* self;
+    std::size_t operator()(FamilyId id) const { return self->hashes_[id]; }
+  };
+  struct IdEq {
+    const FamilyInterner* self;
+    bool operator()(FamilyId x, FamilyId y) const {
+      return self->families_[x] == self->families_[y];
+    }
+  };
+
+  std::size_t num_transitions_;
+  ExplicitFamily::Context base_;
+  std::vector<ExplicitFamily> families_;  // arena; FamilyId indexes it
+  std::vector<std::size_t> hashes_;       // content hash per arena family
+  std::unordered_set<FamilyId, IdHash, IdEq> table_;
+  std::vector<CacheEntry> op_cache_;
+  std::size_t op_cache_mask_ = 0;
+  bool op_cache_enabled_ = true;
+  FamilyInternerStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// InternedFamily — the Family-interface handle over a FamilyInterner
+// ---------------------------------------------------------------------------
+
+class InternedFamily {
+ public:
+  /// Owns the interner all families of one analysis share. Non-copyable;
+  /// families hold a pointer back to it (mirrors BddFamily::Context).
+  class Context {
+   public:
+    explicit Context(std::size_t num_transitions,
+                     std::size_t op_cache_entries = std::size_t{1} << 16)
+        : interner_(std::make_unique<FamilyInterner>(num_transitions,
+                                                     op_cache_entries)) {}
+
+    Context(const Context&) = delete;
+    Context& operator=(const Context&) = delete;
+
+    [[nodiscard]] std::size_t num_transitions() const {
+      return interner_->num_transitions();
+    }
+    [[nodiscard]] FamilyInterner& interner() const { return *interner_; }
+
+    [[nodiscard]] InternedFamily empty() const {
+      return InternedFamily(interner_.get(), kEmptyFamilyId);
+    }
+    [[nodiscard]] InternedFamily single(const TransitionSet& set) const {
+      return InternedFamily(interner_.get(), interner_->single(set));
+    }
+    [[nodiscard]] InternedFamily from_sets(
+        std::vector<TransitionSet> sets) const {
+      return InternedFamily(interner_.get(),
+                            interner_->from_sets(std::move(sets)));
+    }
+    [[nodiscard]] InternedFamily initial_valid_sets(
+        const petri::ConflictInfo& conflicts) const {
+      return InternedFamily(interner_.get(),
+                            interner_->initial_valid_sets(conflicts));
+    }
+
+    /// GpoResult hook: GpnAnalyzer::explore() detects this method at compile
+    /// time and surfaces the counters in GpoResult::family_stats.
+    void fill_stats(GpoFamilyStats& out) const {
+      FamilyInternerStats s = interner_->stats();
+      out.available = true;
+      out.distinct_families = s.distinct_families;
+      out.intern_calls = s.intern_calls;
+      out.dedup_ratio = s.dedup_ratio();
+      out.op_cache_hits = s.op_cache_hits;
+      out.op_cache_misses = s.op_cache_misses;
+      out.op_cache_hit_rate = s.op_cache_hit_rate();
+      out.families_bytes = s.families_bytes;
+    }
+
+   private:
+    std::unique_ptr<FamilyInterner> interner_;
+  };
+
+  [[nodiscard]] InternedFamily intersect(const InternedFamily& o) const {
+    return with(interner_->intersect(id_, o.id_));
+  }
+  [[nodiscard]] InternedFamily unite(const InternedFamily& o) const {
+    return with(interner_->unite(id_, o.id_));
+  }
+  [[nodiscard]] InternedFamily subtract(const InternedFamily& o) const {
+    return with(interner_->subtract(id_, o.id_));
+  }
+  [[nodiscard]] InternedFamily containing(petri::TransitionId t) const {
+    return with(interner_->containing(id_, t));
+  }
+
+  [[nodiscard]] bool is_empty() const { return id_ == kEmptyFamilyId; }
+  [[nodiscard]] bool contains(const TransitionSet& v) const {
+    return interner_->family(id_).contains(v);
+  }
+  [[nodiscard]] double count() const { return interner_->family(id_).count(); }
+  [[nodiscard]] std::vector<TransitionSet> members(
+      std::size_t max = SIZE_MAX) const {
+    return interner_->family(id_).members(max);
+  }
+
+  /// Ids are hash-consed, so mixing the id is a perfect hash; equality is id
+  /// comparison (families of one analysis share one interner, as with the
+  /// BDD manager).
+  [[nodiscard]] std::size_t hash() const {
+    return static_cast<std::size_t>(util::mix64(id_));
+  }
+  bool operator==(const InternedFamily& o) const { return id_ == o.id_; }
+
+  [[nodiscard]] std::size_t universe() const {
+    return interner_->num_transitions();
+  }
+  [[nodiscard]] FamilyId id() const { return id_; }
+
+ private:
+  friend class Context;
+  InternedFamily(FamilyInterner* interner, FamilyId id)
+      : interner_(interner), id_(id) {}
+  [[nodiscard]] InternedFamily with(FamilyId id) const {
+    return InternedFamily(interner_, id);
+  }
+
+  FamilyInterner* interner_ = nullptr;
+  FamilyId id_ = kEmptyFamilyId;
+};
+
+}  // namespace gpo::core

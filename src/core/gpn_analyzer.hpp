@@ -27,6 +27,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <deque>
 #include <unordered_map>
 #include <vector>
@@ -122,14 +123,22 @@ class GpnAnalyzer {
     util::Bitset in_fired(nt);
     for (petri::TransitionId t : fired) in_fired.set(t);
 
-    std::unordered_map<petri::TransitionId, Family> me;
+    // m_enabled per fired transition, indexed by transition id through a flat
+    // side table — this sits in the hottest loop and a per-call hash map
+    // would allocate buckets for every successor.
+    std::vector<Family> me;
     me.reserve(fired.size());
-    for (petri::TransitionId t : fired) me.emplace(t, m_enabled(t, s));
+    std::vector<std::uint32_t> me_index(nt, UINT32_MAX);
+    for (petri::TransitionId t : fired) {
+      me_index[t] = static_cast<std::uint32_t>(me.size());
+      me.push_back(m_enabled(t, s));
+    }
 
     // r' = U_{t not in T'} s_enabled(t,s)  ∪  U_{t in T'} m_enabled(t,s)
     Family r_next = ctx_.empty();
     for (petri::TransitionId t = 0; t < nt; ++t)
-      r_next = r_next.unite(in_fired.test(t) ? me.at(t) : s_enabled(t, s));
+      r_next =
+          r_next.unite(in_fired.test(t) ? me[me_index[t]] : s_enabled(t, s));
 
     State next{std::vector<Family>(), r_next};
     next.marking.reserve(net_.place_count());
@@ -139,13 +148,13 @@ class GpnAnalyzer {
       bool consumed = false, produced = false;
       for (petri::TransitionId t : net_.place(p).post) {  // consumers of p
         if (in_fired.test(t)) {
-          removed = removed.unite(me.at(t));
+          removed = removed.unite(me[me_index[t]]);
           consumed = true;
         }
       }
       for (petri::TransitionId t : net_.place(p).pre) {  // producers of p
         if (in_fired.test(t)) {
-          added = added.unite(me.at(t));
+          added = added.unite(me[me_index[t]]);
           produced = true;
         }
       }
@@ -645,6 +654,10 @@ GpoResult GpnAnalyzer<Family>::explore() const {
 
   result.state_count = states.size();
   result.seconds = timer.elapsed_seconds();
+  // Representations with shared backing stores (the family interner) report
+  // dedup/cache counters; plain value representations leave the block empty.
+  if constexpr (requires(Context& c, GpoFamilyStats& st) { c.fill_stats(st); })
+    ctx_.fill_stats(result.family_stats);
   if (options_.build_graph) {
     result.graph.initial = 0;
     result.graph.node_labels.reserve(states.size());

@@ -8,6 +8,10 @@ GpoResult run_gpo(const petri::PetriNet& net, FamilyKind kind,
     ExplicitFamily::Context ctx(net.transition_count());
     return GpnAnalyzer<ExplicitFamily>(net, ctx, options).explore();
   }
+  if (kind == FamilyKind::kInterned) {
+    InternedFamily::Context ctx(net.transition_count());
+    return GpnAnalyzer<InternedFamily>(net, ctx, options).explore();
+  }
   BddFamily::Context ctx(net.transition_count());
   return GpnAnalyzer<BddFamily>(net, ctx, options).explore();
 }

@@ -4,6 +4,7 @@
 // the full API instantiates GpnAnalyzer directly.
 #pragma once
 
+#include "core/family_interner.hpp"
 #include "core/gpn_analyzer.hpp"
 #include "core/gpo_result.hpp"
 #include "petri/net.hpp"
@@ -13,17 +14,32 @@ namespace gpo::core {
 enum class FamilyKind {
   kExplicit,  // canonical sorted vector of transition sets
   kBdd,       // Boolean function over |T| BDD variables
+  kInterned,  // hash-consed explicit families behind 32-bit ids + op cache
 };
 
+/// A GPN state of the interned engine: per-place markings and r are 32-bit
+/// FamilyIds into the shared interner, so visited-set hashing and equality
+/// run over flat id vectors and successor construction copies ids, not sets.
+using InternedGpnState = GpnState<InternedFamily>;
+
 /// Runs the Section 3.3 analysis procedure on `net` and returns the result.
-/// With FamilyKind::kExplicit, nets whose explicit r0 would exceed the
-/// enumeration cap throw std::length_error — switch to kBdd for those.
+/// With FamilyKind::kExplicit or kInterned, nets whose explicit r0 would
+/// exceed the enumeration cap throw std::length_error — switch to kBdd for
+/// those. kInterned additionally reports GpoResult::family_stats.
 [[nodiscard]] GpoResult run_gpo(const petri::PetriNet& net,
                                 FamilyKind kind = FamilyKind::kExplicit,
                                 const GpoOptions& options = {});
 
 [[nodiscard]] inline const char* family_kind_name(FamilyKind k) {
-  return k == FamilyKind::kExplicit ? "explicit" : "bdd";
+  switch (k) {
+    case FamilyKind::kExplicit:
+      return "explicit";
+    case FamilyKind::kBdd:
+      return "bdd";
+    case FamilyKind::kInterned:
+      return "interned";
+  }
+  return "unknown";
 }
 
 }  // namespace gpo::core

@@ -46,6 +46,24 @@ struct GpoOptions {
   std::optional<petri::PlaceId> required_witness_place;
 };
 
+/// Counters of the hash-consed family store (FamilyKind::kInterned only;
+/// `available` stays false for the plain explicit/BDD representations).
+struct GpoFamilyStats {
+  bool available = false;
+  /// Distinct canonical families in the interner arena (== peak: the arena
+  /// only grows during an analysis).
+  std::size_t distinct_families = 0;
+  /// Families presented for interning; dedup_ratio = intern_calls /
+  /// distinct_families is how many deep constructions hash-consing saved.
+  std::size_t intern_calls = 0;
+  double dedup_ratio = 0.0;
+  std::size_t op_cache_hits = 0;
+  std::size_t op_cache_misses = 0;
+  double op_cache_hit_rate = 0.0;
+  /// Payload bytes of the canonical arena (member vectors + bitset words).
+  std::size_t families_bytes = 0;
+};
+
 struct GpoResult {
   std::size_t state_count = 0;
   std::size_t edge_count = 0;
@@ -85,6 +103,9 @@ struct GpoResult {
 
   bool limit_hit = false;
   double seconds = 0.0;
+
+  /// Interner/op-cache counters (FamilyKind::kInterned runs only).
+  GpoFamilyStats family_stats;
 
   petri::LabeledGraph graph;  // populated when GpoOptions::build_graph
 };

@@ -90,6 +90,9 @@ class ExplicitFamily {
   bool operator==(const ExplicitFamily& o) const { return sets_ == o.sets_; }
 
   [[nodiscard]] std::size_t universe() const { return num_transitions_; }
+  /// Approximate heap footprint (member vector + bitset words); used by the
+  /// FamilyInterner's arena accounting.
+  [[nodiscard]] std::size_t memory_bytes() const;
 
  private:
   ExplicitFamily(std::size_t num_transitions, std::vector<TransitionSet> sets)

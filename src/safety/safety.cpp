@@ -127,14 +127,16 @@ SafetyResult check_safety(const PetriNet& net, const SafetyProperty& prop,
       return result;
     }
     case Engine::kGpo:
-    case Engine::kGpoBdd: {
+    case Engine::kGpoBdd:
+    case Engine::kGpoInterned: {
       core::GpoOptions opt;
       opt.max_states = options.max_states;
       opt.max_seconds = options.max_seconds;
       opt.stop_at_first_deadlock = true;
       opt.required_witness_place = violation;
-      auto kind = options.engine == Engine::kGpo
-                      ? core::FamilyKind::kExplicit
+      auto kind = options.engine == Engine::kGpo ? core::FamilyKind::kExplicit
+                  : options.engine == Engine::kGpoInterned
+                      ? core::FamilyKind::kInterned
                       : core::FamilyKind::kBdd;
       auto r = core::run_gpo(reduced.net, kind, opt);
       result.violated = r.deadlock_found;

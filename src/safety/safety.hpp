@@ -55,7 +55,14 @@ struct ReducedNet {
 [[nodiscard]] ReducedNet reduce_safety_to_deadlock(const petri::PetriNet& net,
                                                    const SafetyProperty& prop);
 
-enum class Engine { kExplicit, kStubborn, kSymbolic, kGpo, kGpoBdd };
+enum class Engine {
+  kExplicit,
+  kStubborn,
+  kSymbolic,
+  kGpo,
+  kGpoBdd,
+  kGpoInterned,
+};
 
 struct SafetyOptions {
   Engine engine = Engine::kGpoBdd;

@@ -153,16 +153,24 @@ class Bitset {
     return a.words_ < b.words_;
   }
 
-  [[nodiscard]] std::size_t hash() const {
-    // FNV-1a over the words; the trailing-bit invariant makes this exact.
-    std::uint64_t h = 1469598103934665603ull;
+  /// FNV-1a over the words in one pass, chained from `seed`; the trailing-bit
+  /// invariant makes this exact. Callers hashing a sequence of bitsets
+  /// (ExplicitFamily, the state stores) thread the running hash through
+  /// `seed` instead of finalizing and re-mixing per element.
+  [[nodiscard]] std::uint64_t hash_value(
+      std::uint64_t seed = 1469598103934665603ull) const {
+    std::uint64_t h = seed;
     for (Word w : words_) {
       h ^= w;
       h *= 1099511628211ull;
     }
     h ^= size_;
     h *= 1099511628211ull;
-    return static_cast<std::size_t>(h);
+    return h;
+  }
+
+  [[nodiscard]] std::size_t hash() const {
+    return static_cast<std::size_t>(hash_value());
   }
 
   /// Indices of all set bits, ascending.

@@ -1,0 +1,268 @@
+// FamilyInterner unit + property tests: hash-consing invariants (id
+// stability, canonical arena), the memoized op cache (correctness under
+// collisions/eviction, identical results with the cache disabled), and the
+// stats counters the CLI/bench surface.
+#include "core/family_interner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "models/models.hpp"
+#include "petri/conflict.hpp"
+
+namespace gpo::core {
+namespace {
+
+TransitionSet ts(std::size_t n, std::initializer_list<std::size_t> bits) {
+  return TransitionSet(n, bits);
+}
+
+TEST(FamilyInterner, EmptyFamilyIsPinnedToIdZero) {
+  FamilyInterner in(4);
+  EXPECT_EQ(in.size(), 1u);
+  EXPECT_EQ(in.empty(), kEmptyFamilyId);
+  EXPECT_TRUE(in.is_empty(kEmptyFamilyId));
+  EXPECT_TRUE(in.family(kEmptyFamilyId).is_empty());
+  ExplicitFamily::Context ectx(4);
+  EXPECT_EQ(in.intern(ectx.empty()), kEmptyFamilyId);
+  EXPECT_EQ(in.size(), 1u);  // dedup: nothing new stored
+}
+
+TEST(FamilyInterner, EqualContentGetsEqualId) {
+  FamilyInterner in(4);
+  FamilyId a = in.from_sets({ts(4, {0}), ts(4, {1})});
+  FamilyId b = in.from_sets({ts(4, {1}), ts(4, {0})});  // different order
+  EXPECT_EQ(a, b);
+  FamilyId c = in.single(ts(4, {2}));
+  EXPECT_NE(a, c);
+  // Ids are stable across unrelated interning.
+  FamilyId a2 = in.from_sets({ts(4, {0}), ts(4, {1})});
+  EXPECT_EQ(a, a2);
+}
+
+TEST(FamilyInterner, HashIsCachedAtInternTime) {
+  FamilyInterner in(4);
+  FamilyId a = in.from_sets({ts(4, {0, 2}), ts(4, {1})});
+  EXPECT_EQ(in.hash_of(a), in.family(a).hash());
+}
+
+TEST(FamilyInterner, OperationsMatchExplicitAlgebra) {
+  FamilyInterner in(4);
+  FamilyId ab = in.from_sets({ts(4, {0}), ts(4, {1})});
+  FamilyId bc = in.from_sets({ts(4, {1}), ts(4, {2})});
+  EXPECT_EQ(in.intersect(ab, bc), in.single(ts(4, {1})));
+  EXPECT_EQ(in.unite(ab, bc),
+            in.from_sets({ts(4, {0}), ts(4, {1}), ts(4, {2})}));
+  EXPECT_EQ(in.subtract(ab, bc), in.single(ts(4, {0})));
+  EXPECT_EQ(in.subtract(ab, ab), kEmptyFamilyId);
+  EXPECT_EQ(in.containing(ab, 1), in.single(ts(4, {1})));
+  EXPECT_EQ(in.containing(ab, 3), kEmptyFamilyId);
+}
+
+TEST(FamilyInterner, AlgebraicShortcutsBypassTheCache) {
+  FamilyInterner in(4);
+  FamilyId ab = in.from_sets({ts(4, {0}), ts(4, {1})});
+  auto before = in.stats();
+  // Identities resolved on ids alone: no cache traffic, no interning.
+  EXPECT_EQ(in.intersect(ab, ab), ab);
+  EXPECT_EQ(in.unite(ab, kEmptyFamilyId), ab);
+  EXPECT_EQ(in.subtract(kEmptyFamilyId, ab), kEmptyFamilyId);
+  EXPECT_EQ(in.containing(kEmptyFamilyId, 0), kEmptyFamilyId);
+  auto after = in.stats();
+  EXPECT_EQ(after.op_cache_hits, before.op_cache_hits);
+  EXPECT_EQ(after.op_cache_misses, before.op_cache_misses);
+  EXPECT_EQ(after.intern_calls, before.intern_calls);
+}
+
+TEST(FamilyInterner, OpCacheHitsOnRepeatAndOnSwappedCommutativeOperands) {
+  FamilyInterner in(4);
+  FamilyId ab = in.from_sets({ts(4, {0}), ts(4, {1})});
+  FamilyId bc = in.from_sets({ts(4, {1}), ts(4, {2})});
+  auto s0 = in.stats();
+  FamilyId r1 = in.unite(ab, bc);
+  FamilyId r2 = in.unite(bc, ab);  // commutative: canonical operand order
+  FamilyId r3 = in.unite(ab, bc);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(r1, r3);
+  auto s1 = in.stats();
+  EXPECT_EQ(s1.op_cache_misses - s0.op_cache_misses, 1u);
+  EXPECT_EQ(s1.op_cache_hits - s0.op_cache_hits, 2u);
+}
+
+TEST(FamilyInterner, TinyCacheEvictsButStaysCorrect) {
+  // A 1-entry computed table forces every second op to evict; results must
+  // still be identical because recomputation re-interns to the same id.
+  FamilyInterner tiny(6, /*op_cache_entries=*/1);
+  FamilyInterner big(6);
+  std::mt19937 rng(7);
+  std::vector<FamilyId> tp{kEmptyFamilyId}, bp{kEmptyFamilyId};
+  for (int step = 0; step < 300; ++step) {
+    std::size_t i = rng() % tp.size(), j = rng() % tp.size();
+    switch (rng() % 5) {
+      case 0: {
+        TransitionSet s(6);
+        for (std::size_t k = 0; k < 6; ++k)
+          if (rng() % 2) s.set(k);
+        tp.push_back(tiny.single(s));
+        bp.push_back(big.single(s));
+        break;
+      }
+      case 1:
+        tp.push_back(tiny.unite(tp[i], tp[j]));
+        bp.push_back(big.unite(bp[i], bp[j]));
+        break;
+      case 2:
+        tp.push_back(tiny.intersect(tp[i], tp[j]));
+        bp.push_back(big.intersect(bp[i], bp[j]));
+        break;
+      case 3:
+        tp.push_back(tiny.subtract(tp[i], tp[j]));
+        bp.push_back(big.subtract(bp[i], bp[j]));
+        break;
+      default: {
+        petri::TransitionId t = rng() % 6;
+        tp.push_back(tiny.containing(tp[i], t));
+        bp.push_back(big.containing(bp[i], t));
+        break;
+      }
+    }
+    ASSERT_EQ(tiny.family(tp.back()).members(), big.family(bp.back()).members())
+        << "step " << step;
+  }
+  EXPECT_EQ(tiny.op_cache_entries(), 1u);
+}
+
+// The headline property: random operation sequences through (a) a plain
+// ExplicitFamily context, (b) an interner with the op cache enabled, and
+// (c) an interner with the cache disabled. Contents must match (a), ids and
+// arenas must be byte-identical between (b) and (c) — memoization must be
+// invisible except in the counters.
+TEST(FamilyInternerProperty, RandomOpsMatchExplicitAndCacheIsInvisible) {
+  std::mt19937 rng(4242);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 6;
+    ExplicitFamily::Context ectx(n);
+    FamilyInterner cached(n);
+    FamilyInterner uncached(n);
+    uncached.set_op_cache_enabled(false);
+
+    auto random_set = [&]() {
+      TransitionSet s(n);
+      for (std::size_t i = 0; i < n; ++i)
+        if (rng() % 2) s.set(i);
+      return s;
+    };
+
+    std::vector<ExplicitFamily> epool{ectx.empty()};
+    std::vector<FamilyId> cpool{kEmptyFamilyId}, upool{kEmptyFamilyId};
+    for (int step = 0; step < 80; ++step) {
+      std::size_t i = rng() % epool.size();
+      std::size_t j = rng() % epool.size();
+      switch (rng() % 5) {
+        case 0: {
+          TransitionSet s = random_set();
+          epool.push_back(ectx.single(s));
+          cpool.push_back(cached.single(s));
+          upool.push_back(uncached.single(s));
+          break;
+        }
+        case 1:
+          epool.push_back(epool[i].unite(epool[j]));
+          cpool.push_back(cached.unite(cpool[i], cpool[j]));
+          upool.push_back(uncached.unite(upool[i], upool[j]));
+          break;
+        case 2:
+          epool.push_back(epool[i].intersect(epool[j]));
+          cpool.push_back(cached.intersect(cpool[i], cpool[j]));
+          upool.push_back(uncached.intersect(upool[i], upool[j]));
+          break;
+        case 3:
+          epool.push_back(epool[i].subtract(epool[j]));
+          cpool.push_back(cached.subtract(cpool[i], cpool[j]));
+          upool.push_back(uncached.subtract(upool[i], upool[j]));
+          break;
+        default: {
+          petri::TransitionId t = rng() % n;
+          epool.push_back(epool[i].containing(t));
+          cpool.push_back(cached.containing(cpool[i], t));
+          upool.push_back(uncached.containing(upool[i], t));
+          break;
+        }
+      }
+      // Contents identical to the plain algebra.
+      ASSERT_EQ(cached.family(cpool.back()), epool.back())
+          << "trial " << trial << " step " << step;
+      // Cache-disabled run assigns the same id at every step.
+      ASSERT_EQ(cpool.back(), upool.back())
+          << "trial " << trial << " step " << step;
+      // Interned equality == content equality against every pool member.
+      for (std::size_t k = 0; k < epool.size(); ++k)
+        ASSERT_EQ(cpool[k] == cpool.back(), epool[k] == epool.back());
+    }
+
+    // Arenas are byte-identical: same families in the same slots.
+    ASSERT_EQ(cached.size(), uncached.size()) << "trial " << trial;
+    for (FamilyId id = 0; id < cached.size(); ++id) {
+      ASSERT_EQ(cached.family(id), uncached.family(id)) << "trial " << trial;
+      ASSERT_EQ(cached.hash_of(id), uncached.hash_of(id));
+    }
+    ASSERT_EQ(cached.stats().families_bytes, uncached.stats().families_bytes);
+    EXPECT_EQ(uncached.stats().op_cache_hits, 0u);
+    EXPECT_EQ(uncached.stats().op_cache_misses, 0u);
+  }
+}
+
+TEST(FamilyInterner, StatsCountersAreConsistent) {
+  auto net = models::make_nsdp(3);
+  petri::ConflictInfo ci(net);
+  FamilyInterner in(net.transition_count());
+  FamilyId r0 = in.initial_valid_sets(ci);
+  FamilyId sub = in.containing(r0, 0);
+  (void)in.unite(r0, sub);
+  (void)in.unite(r0, sub);  // cache hit
+  auto s = in.stats();
+  EXPECT_EQ(s.distinct_families, in.size());
+  EXPECT_GE(s.intern_calls, s.distinct_families);
+  EXPECT_GE(s.dedup_ratio(), 1.0);
+  EXPECT_GE(s.op_cache_hits, 1u);
+  EXPECT_GT(s.families_bytes, 0u);
+  EXPECT_GT(s.op_cache_hit_rate(), 0.0);
+  EXPECT_LE(s.op_cache_hit_rate(), 1.0);
+}
+
+TEST(FamilyInterner, InternedFamilyContextRejectsWrongUniverse) {
+  InternedFamily::Context ctx(4);
+  EXPECT_THROW((void)ctx.single(ts(5, {0})), std::invalid_argument);
+  EXPECT_THROW((void)ctx.from_sets({ts(3, {0})}), std::invalid_argument);
+}
+
+TEST(FamilyInterner, InternedFamilyHashEqualsOnIds) {
+  InternedFamily::Context ctx(4);
+  auto a = ctx.from_sets({ts(4, {0}), ts(4, {1})});
+  auto b = ctx.from_sets({ts(4, {1}), ts(4, {0})});
+  auto c = ctx.single(ts(4, {2}));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.universe(), 4u);
+  EXPECT_EQ(a.id(), b.id());
+}
+
+TEST(FamilyInterner, FillStatsSurfacesCounters) {
+  InternedFamily::Context ctx(4);
+  auto a = ctx.from_sets({ts(4, {0}), ts(4, {1})});
+  auto b = ctx.single(ts(4, {1}));
+  (void)a.unite(b);
+  (void)a.unite(b);
+  GpoFamilyStats out;
+  ctx.fill_stats(out);
+  EXPECT_TRUE(out.available);
+  EXPECT_EQ(out.distinct_families, ctx.interner().size());
+  EXPECT_GE(out.dedup_ratio, 1.0);
+  EXPECT_GE(out.op_cache_hits, 1u);
+  EXPECT_GT(out.families_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace gpo::core

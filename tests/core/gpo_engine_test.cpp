@@ -16,7 +16,8 @@ class BothFamilies : public ::testing::TestWithParam<FamilyKind> {};
 
 INSTANTIATE_TEST_SUITE_P(Kinds, BothFamilies,
                          ::testing::Values(FamilyKind::kExplicit,
-                                           FamilyKind::kBdd),
+                                           FamilyKind::kBdd,
+                                           FamilyKind::kInterned),
                          [](const auto& info) {
                            return family_kind_name(info.param);
                          });

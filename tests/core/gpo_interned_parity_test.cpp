@@ -1,0 +1,121 @@
+// Parity suite: the interned GPO path (hash-consed families + op cache) must
+// be observationally identical to the seed ExplicitFamily path — same state
+// counts, step mix, fireability verdicts, witnesses, and counterexamples —
+// on the paper's models and on random nets. Also checks the interner stats
+// the result carries (dedup ratio, cache hit rate) are populated and sane.
+#include <gtest/gtest.h>
+
+#include "core/gpo.hpp"
+#include "models/models.hpp"
+
+namespace gpo::core {
+namespace {
+
+using petri::PetriNet;
+
+void expect_parity(const PetriNet& net, const GpoOptions& opt = {}) {
+  auto seed = run_gpo(net, FamilyKind::kExplicit, opt);
+  auto interned = run_gpo(net, FamilyKind::kInterned, opt);
+
+  EXPECT_EQ(seed.state_count, interned.state_count) << net.name();
+  EXPECT_EQ(seed.edge_count, interned.edge_count) << net.name();
+  EXPECT_EQ(seed.multiple_steps, interned.multiple_steps) << net.name();
+  EXPECT_EQ(seed.single_steps, interned.single_steps) << net.name();
+  EXPECT_EQ(seed.deadlock_found, interned.deadlock_found) << net.name();
+  EXPECT_EQ(seed.bailed_to_classical, interned.bailed_to_classical)
+      << net.name();
+  EXPECT_EQ(seed.ignoring_expansions, interned.ignoring_expansions)
+      << net.name();
+  EXPECT_EQ(seed.fireable_transitions, interned.fireable_transitions)
+      << net.name();
+  EXPECT_EQ(seed.deadlock_witness, interned.deadlock_witness) << net.name();
+  EXPECT_EQ(seed.counterexample, interned.counterexample) << net.name();
+
+  // Only the interned path reports family stats, and they must be coherent.
+  EXPECT_FALSE(seed.family_stats.available) << net.name();
+  ASSERT_TRUE(interned.family_stats.available) << net.name();
+  EXPECT_GT(interned.family_stats.distinct_families, 0u) << net.name();
+  EXPECT_GE(interned.family_stats.dedup_ratio, 1.0) << net.name();
+  EXPECT_GT(interned.family_stats.families_bytes, 0u) << net.name();
+}
+
+TEST(GpoInternedParity, PaperModels) {
+  expect_parity(models::make_diamond(5));
+  expect_parity(models::make_conflict_chain(6));
+  expect_parity(models::make_nsdp(4));
+  expect_parity(models::make_arbiter_tree(4));
+  expect_parity(models::make_readers_writers(6));
+  expect_parity(models::make_fig3());
+  expect_parity(models::make_fig5());
+  expect_parity(models::make_fig7());
+}
+
+TEST(GpoInternedParity, GuardAndDelegationPathsAgree) {
+  // overtake exercises the anti-ignoring guard, slotted_ring (with a low
+  // threshold) the fragmentation bail-out; parity must hold through both
+  // delegated classical searches.
+  expect_parity(models::make_overtake(4));
+  GpoOptions opt;
+  opt.delegate_after_states = 500;
+  expect_parity(models::make_slotted_ring(3), opt);
+}
+
+TEST(GpoInternedParity, StopAtFirstDeadlockAndWitnessFilter) {
+  GpoOptions opt;
+  opt.stop_at_first_deadlock = true;
+  expect_parity(models::make_nsdp(4), opt);
+
+  PetriNet net = models::make_nsdp(3);
+  GpoOptions filt;
+  filt.required_witness_place = net.find_place("hasL_0");
+  expect_parity(net, filt);
+}
+
+TEST(GpoInternedParity, RandomNets) {
+  for (std::uint64_t seed = 2200; seed < 2260; ++seed) {
+    models::RandomNetParams p;
+    p.machines = 2 + seed % 3;
+    p.states_per_machine = 3;
+    p.transitions = 5 + seed % 10;
+    p.seed = seed;
+    PetriNet net = models::make_random_net(p);
+    GpoOptions opt;
+    opt.max_seconds = 20;
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    expect_parity(net, opt);
+  }
+}
+
+TEST(GpoInternedParity, DedupRatioClearsTwoOnHeadlineFamilies) {
+  // The acceptance bar of the interner PR: at least 2x fewer family
+  // constructions than stored families on the Fig-2/Table-1 workloads.
+  for (auto make : {+[] { return models::make_conflict_chain(10); },
+                    +[] { return models::make_readers_writers(8); }}) {
+    PetriNet net = make();
+    auto r = run_gpo(net, FamilyKind::kInterned);
+    ASSERT_TRUE(r.family_stats.available) << net.name();
+    EXPECT_GE(r.family_stats.dedup_ratio, 2.0) << net.name();
+    EXPECT_GT(r.family_stats.op_cache_hit_rate, 0.5) << net.name();
+  }
+}
+
+TEST(GpoInternedParity, CounterexampleReplaysOnInternedPath) {
+  for (auto make : {+[] { return models::make_nsdp(4); },
+                    +[] { return models::make_conflict_chain(5); },
+                    +[] { return models::make_fig7(); }}) {
+    PetriNet net = make();
+    auto r = run_gpo(net, FamilyKind::kInterned);
+    ASSERT_TRUE(r.deadlock_found) << net.name();
+    ASSERT_FALSE(r.counterexample.empty()) << net.name();
+    petri::Marking m = net.initial_marking();
+    for (petri::TransitionId t : r.counterexample) {
+      ASSERT_TRUE(net.enabled(t, m)) << net.name();
+      m = net.fire(t, m);
+    }
+    EXPECT_EQ(m, *r.deadlock_witness) << net.name();
+    EXPECT_TRUE(net.is_deadlocked(m)) << net.name();
+  }
+}
+
+}  // namespace
+}  // namespace gpo::core

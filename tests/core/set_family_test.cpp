@@ -4,6 +4,7 @@
 
 #include <random>
 
+#include "core/family_interner.hpp"
 #include "models/models.hpp"
 #include "petri/conflict.hpp"
 
@@ -21,7 +22,8 @@ TransitionSet ts(std::size_t n, std::initializer_list<std::size_t> bits) {
 template <typename F>
 class FamilyTest : public ::testing::Test {};
 
-using FamilyTypes = ::testing::Types<ExplicitFamily, BddFamily>;
+using FamilyTypes =
+    ::testing::Types<ExplicitFamily, BddFamily, InternedFamily>;
 TYPED_TEST_SUITE(FamilyTest, FamilyTypes);
 
 TYPED_TEST(FamilyTest, EmptyFamily) {

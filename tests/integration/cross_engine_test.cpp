@@ -20,6 +20,7 @@ struct Verdicts {
   bool ground;
   bool por;
   bool gpo_explicit;
+  bool gpo_interned;
   bool gpo_bdd;
   bool symbolic;
   double symbolic_states;
@@ -34,6 +35,8 @@ Verdicts run_all(const PetriNet& net) {
   v.por = por::StubbornExplorer(net).explore().deadlock_found;
   v.gpo_explicit =
       core::run_gpo(net, core::FamilyKind::kExplicit).deadlock_found;
+  v.gpo_interned =
+      core::run_gpo(net, core::FamilyKind::kInterned).deadlock_found;
   v.gpo_bdd = core::run_gpo(net, core::FamilyKind::kBdd).deadlock_found;
   auto sym = bdd::SymbolicReachability(net).analyze();
   EXPECT_FALSE(sym.blowup) << net.name();
@@ -46,6 +49,7 @@ void expect_agreement(const PetriNet& net) {
   Verdicts v = run_all(net);
   EXPECT_EQ(v.por, v.ground) << net.name();
   EXPECT_EQ(v.gpo_explicit, v.ground) << net.name();
+  EXPECT_EQ(v.gpo_interned, v.ground) << net.name();
   EXPECT_EQ(v.gpo_bdd, v.ground) << net.name();
   EXPECT_EQ(v.symbolic, v.ground) << net.name();
   EXPECT_EQ(v.symbolic_states, static_cast<double>(v.ground_states))
@@ -102,6 +106,16 @@ TEST_P(RandomAgreement, AllEnginesMatchGroundTruth) {
         EXPECT_TRUE(ge.witness_is_dead) << seed;
       }
     }
+    auto gi = core::run_gpo(net, core::FamilyKind::kInterned, go);
+    if (!gi.limit_hit) {
+      EXPECT_EQ(gi.deadlock_found, ground.deadlock_found)
+          << "GPO-interned seed=" << seed;
+      if (!ge.limit_hit) {
+        EXPECT_EQ(gi.state_count, ge.state_count)
+            << "GPO-interned seed=" << seed;
+      }
+    }
+
     auto gb = core::run_gpo(net, core::FamilyKind::kBdd, go);
     if (!gb.limit_hit) {
       EXPECT_EQ(gb.deadlock_found, ground.deadlock_found)

@@ -49,7 +49,8 @@ TEST(Liveness, StubbornAgrees) {
 
 TEST(Liveness, GpoAgrees) {
   PetriNet net = net_with_dead_transition();
-  for (auto kind : {core::FamilyKind::kExplicit, core::FamilyKind::kBdd}) {
+  for (auto kind : {core::FamilyKind::kExplicit, core::FamilyKind::kBdd,
+                    core::FamilyKind::kInterned}) {
     auto r = core::run_gpo(net, kind);
     EXPECT_FALSE(r.fireable_transitions.test(net.find_transition("d")));
     EXPECT_TRUE(r.fireable_transitions.test(net.find_transition("a")));
