@@ -6,9 +6,12 @@
 // can be charted across PRs.
 //
 // Usage: bench_gpo_intern [--smoke] [--max-seconds S] [--out FILE]
+//                         [--report FILE]
 //   --smoke        small instances + tight budget (CI bench-smoke job)
 //   --max-seconds  per-engine wall-clock budget (default 60)
 //   --out          JSON output path (default BENCH_gpo.json)
+//   --report       also write the schema-stable run report shared with
+//                  `julie --report` (bench/report_schema.json)
 //
 // JSON schema (schema_version 1):
 //   { "schema_version": 1, "benchmark": "bench_gpo_intern", "smoke": bool,
@@ -28,6 +31,7 @@
 
 #include "core/gpo.hpp"
 #include "models/models.hpp"
+#include "obs/report.hpp"
 #include "util/stopwatch.hpp"
 
 namespace {
@@ -51,20 +55,44 @@ struct Row {
   }
 };
 
-Row run_row(const std::string& label, const PetriNet& net, double budget) {
+Row run_row(const std::string& label, const PetriNet& net, double budget,
+            gpo::obs::MetricsRegistry* reg, gpo::obs::RunReport* report) {
   Row row;
   row.model = label;
   gpo::core::GpoOptions opt;
   opt.max_seconds = budget;
+  opt.metrics = reg;
 
+  opt.metrics_prefix = "seed.";
   gpo::util::Stopwatch seed_timer;
   auto seed = gpo::core::run_gpo(net, gpo::core::FamilyKind::kExplicit, opt);
   row.seed_ms = seed_timer.elapsed_seconds() * 1000.0;
 
+  opt.metrics_prefix = "intern.";
   gpo::util::Stopwatch interned_timer;
   auto interned =
       gpo::core::run_gpo(net, gpo::core::FamilyKind::kInterned, opt);
   row.interned_ms = interned_timer.elapsed_seconds() * 1000.0;
+
+  if (report != nullptr && reg != nullptr) {
+    auto add = [&](const char* engine, const auto& r, double seconds,
+                   const std::string& prefix) {
+      gpo::obs::RunReport::EngineRun er;
+      er.engine = engine;
+      er.model = label;
+      er.verdict = r.limit_hit      ? "aborted"
+                   : r.deadlock_found ? "deadlock"
+                                      : "no-deadlock";
+      er.states = static_cast<double>(r.state_count);
+      er.seconds = seconds;
+      er.aborted = r.limit_hit;
+      er.aborted_phase = r.interrupted_phase;
+      er.counters = gpo::obs::registry_to_json(*reg, prefix);
+      report->add_engine(std::move(er));
+    };
+    add("gpo", seed, row.seed_ms / 1000.0, "seed.");
+    add("gpo-intern", interned, row.interned_ms / 1000.0, "intern.");
+  }
 
   row.states = interned.state_count;
   row.peak_families = interned.family_stats.distinct_families;
@@ -121,13 +149,26 @@ int main(int argc, char** argv) {
   bool smoke = false;
   double budget = 60.0;
   std::string out_path = "BENCH_gpo.json";
+  std::string report_path;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--smoke")) smoke = true;
     if (!std::strcmp(argv[i], "--max-seconds") && i + 1 < argc)
       budget = std::stod(argv[++i]);
     if (!std::strcmp(argv[i], "--out") && i + 1 < argc) out_path = argv[++i];
+    if (!std::strcmp(argv[i], "--report") && i + 1 < argc)
+      report_path = argv[++i];
   }
   if (smoke && budget > 5.0) budget = 5.0;
+
+  gpo::obs::RunReport report("bench_gpo_intern");
+  {
+    std::string cmd;
+    for (int a = 0; a < argc; ++a) {
+      if (a > 0) cmd += ' ';
+      cmd += argv[a];
+    }
+    report.set_command(cmd);
+  }
 
   struct Instance {
     std::string label;
@@ -163,7 +204,10 @@ int main(int argc, char** argv) {
             << std::setw(7) << "hit%" << std::setw(12) << "fam-bytes"
             << "\n";
   for (const Instance& inst : instances) {
-    Row row = run_row(inst.label, inst.net, budget);
+    gpo::obs::MetricsRegistry reg;  // fresh per instance
+    Row row = run_row(inst.label, inst.net, budget,
+                      report_path.empty() ? nullptr : &reg,
+                      report_path.empty() ? nullptr : &report);
     std::cout << std::left << std::setw(12) << row.model << std::right
               << std::setw(8) << row.states << std::setw(12) << std::fixed
               << std::setprecision(2) << row.seed_ms << std::setw(12)
@@ -185,6 +229,15 @@ int main(int argc, char** argv) {
   }
   write_json(out, rows, smoke);
   std::cout << "JSON written to " << out_path << "\n";
+  if (!report_path.empty()) {
+    std::ofstream rout(report_path);
+    if (!rout) {
+      std::cerr << "cannot write " << report_path << "\n";
+      return 1;
+    }
+    report.write(rout, nullptr, nullptr);
+    std::cout << "report written to " << report_path << "\n";
+  }
   if (!all_match) {
     std::cerr << "ERROR: seed/interned verdict mismatch\n";
     return 1;

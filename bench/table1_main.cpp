@@ -11,8 +11,11 @@
 // covered by bench/ablation_family).
 //
 // Usage: bench_table1 [--quick] [--max-seconds S] [--csv FILE] [--threads N]
+//                     [--report FILE]
 // --threads N runs the exhaustive "States" column on the parallel sharded
 // explorer with N workers (counts are identical to the sequential engine).
+// --report FILE additionally writes the schema-stable JSON run report
+// (bench/report_schema.json) shared with `julie --report`.
 #include <cstring>
 #include <fstream>
 #include <iomanip>
@@ -24,6 +27,7 @@
 #include "bdd/symbolic_reach.hpp"
 #include "core/gpo.hpp"
 #include "models/models.hpp"
+#include "obs/report.hpp"
 #include "por/stubborn.hpp"
 #include "reach/explorer.hpp"
 
@@ -35,11 +39,13 @@ struct Cell {
   double value = 0;   // states or nodes
   double seconds = 0;
   bool aborted = false;
+  bool deadlock = false;
 };
 
 struct Row {
   std::string problem;
   Cell full, por, smv, gpo;
+  double smv_states = -1;  // the smv cell's value is peak nodes
   std::size_t gpo_delegated = 0;
 };
 
@@ -61,7 +67,9 @@ std::string fmt_time(const Cell& c) {
 }
 
 Row run_row(const std::string& name, const PetriNet& net, double budget,
-            std::size_t threads) {
+            std::size_t threads, gpo::obs::MetricsRegistry* reg) {
+  // Each engine publishes its counters under its default prefix ("full.",
+  // "por.", "bdd.", "gpo.") into the per-row registry for --report.
   Row row;
   row.problem = name;
 
@@ -70,29 +78,55 @@ Row run_row(const std::string& name, const PetriNet& net, double budget,
     opt.max_seconds = budget;
     opt.max_states = 50'000'000;
     opt.num_threads = threads;
+    opt.metrics = reg;
     auto r = gpo::reach::ExplicitExplorer(net, opt).explore();
-    row.full = {static_cast<double>(r.state_count), r.seconds, r.limit_hit};
+    row.full = {static_cast<double>(r.state_count), r.seconds, r.limit_hit,
+                r.deadlock_found};
   }
   {
     gpo::por::StubbornOptions opt;
     opt.max_seconds = budget;
+    opt.metrics = reg;
     auto r = gpo::por::StubbornExplorer(net, opt).explore();
-    row.por = {static_cast<double>(r.state_count), r.seconds, r.limit_hit};
+    row.por = {static_cast<double>(r.state_count), r.seconds, r.limit_hit,
+               r.deadlock_found};
   }
   {
     gpo::bdd::SymbolicOptions opt;
     opt.max_seconds = budget;
+    opt.metrics = reg;
     auto r = gpo::bdd::SymbolicReachability(net, opt).analyze();
-    row.smv = {static_cast<double>(r.peak_nodes), r.seconds, r.blowup};
+    row.smv = {static_cast<double>(r.peak_nodes), r.seconds, r.blowup,
+               r.deadlock_found};
+    row.smv_states = r.state_count;
   }
   {
     gpo::core::GpoOptions opt;
     opt.max_seconds = budget;
+    opt.metrics = reg;
     auto r = gpo::core::run_gpo(net, gpo::core::FamilyKind::kBdd, opt);
-    row.gpo = {static_cast<double>(r.state_count), r.seconds, r.limit_hit};
+    row.gpo = {static_cast<double>(r.state_count), r.seconds, r.limit_hit,
+               r.deadlock_found};
     row.gpo_delegated = r.delegated_states;
   }
   return row;
+}
+
+gpo::obs::RunReport::EngineRun engine_run(const std::string& engine,
+                                          const std::string& model,
+                                          const Cell& c, double states,
+                                          const gpo::obs::MetricsRegistry& reg,
+                                          const std::string& prefix) {
+  gpo::obs::RunReport::EngineRun er;
+  er.engine = engine;
+  er.model = model;
+  er.verdict =
+      c.aborted ? "aborted" : (c.deadlock ? "deadlock" : "no-deadlock");
+  er.states = states;
+  er.seconds = c.seconds;
+  er.aborted = c.aborted;
+  er.counters = gpo::obs::registry_to_json(reg, prefix);
+  return er;
 }
 
 }  // namespace
@@ -102,15 +136,28 @@ int main(int argc, char** argv) {
   bool quick = false;
   std::size_t threads = 1;
   std::string csv_path = "table1_results.csv";
+  std::string report_path;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--quick")) quick = true;
     if (!std::strcmp(argv[i], "--max-seconds") && i + 1 < argc)
       budget = std::stod(argv[++i]);
     if (!std::strcmp(argv[i], "--csv") && i + 1 < argc) csv_path = argv[++i];
+    if (!std::strcmp(argv[i], "--report") && i + 1 < argc)
+      report_path = argv[++i];
     if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       threads = std::stoul(argv[++i]);
       if (threads == 0) threads = 1;
     }
+  }
+
+  gpo::obs::RunReport report("bench_table1");
+  {
+    std::string cmd;
+    for (int a = 0; a < argc; ++a) {
+      if (a > 0) cmd += ' ';
+      cmd += argv[a];
+    }
+    report.set_command(cmd);
   }
 
   struct Instance {
@@ -167,7 +214,11 @@ int main(int argc, char** argv) {
          "gpo_states,gpo_s,gpo_delegated\n";
 
   for (const Instance& inst : instances) {
-    Row row = run_row(inst.label, inst.net, budget, threads);
+    // A fresh registry per instance keeps the four engines' counters from
+    // accumulating across rows.
+    gpo::obs::MetricsRegistry reg;
+    Row row = run_row(inst.label, inst.net, budget, threads,
+                      report_path.empty() ? nullptr : &reg);
     std::cout << std::left << std::setw(10) << row.problem << std::right
               << std::setw(10) << fmt_count(row.full)       //
               << std::setw(10) << fmt_count(row.por)        //
@@ -182,7 +233,28 @@ int main(int argc, char** argv) {
         << ',' << row.por.value << ',' << row.por.seconds << ','
         << row.smv.value << ',' << row.smv.seconds << ',' << row.gpo.value
         << ',' << row.gpo.seconds << ',' << row.gpo_delegated << "\n";
+    if (!report_path.empty()) {
+      report.add_engine(
+          engine_run("full", inst.label, row.full, row.full.value, reg,
+                     "full."));
+      report.add_engine(
+          engine_run("por", inst.label, row.por, row.por.value, reg, "por."));
+      report.add_engine(
+          engine_run("bdd", inst.label, row.smv, row.smv_states, reg, "bdd."));
+      report.add_engine(
+          engine_run("gpo-bdd", inst.label, row.gpo, row.gpo.value, reg,
+                     "gpo."));
+    }
   }
   std::cout << "\nCSV written to " << csv_path << "\n";
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    if (!out) {
+      std::cerr << "cannot write " << report_path << "\n";
+      return 1;
+    }
+    report.write(out, nullptr, nullptr);
+    std::cout << "report written to " << report_path << "\n";
+  }
   return 0;
 }

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Validate a run report against bench/report_schema.json.
+
+Usage: validate_report.py REPORT.json [SCHEMA.json]
+
+Implements the same JSON-Schema subset as the C++ validator
+(src/obs/json.hpp: obs::json::validate): type, required, properties,
+items, enum, minimum, additionalProperties, and $ref into #/definitions.
+No third-party jsonschema dependency, so CI can run it on a bare runner.
+Exit status 0 iff the document validates; errors go to stderr.
+"""
+import json
+import sys
+from pathlib import Path
+
+
+def type_ok(schema_type, doc):
+    if schema_type == "object":
+        return isinstance(doc, dict)
+    if schema_type == "array":
+        return isinstance(doc, list)
+    if schema_type == "string":
+        return isinstance(doc, str)
+    if schema_type == "boolean":
+        return isinstance(doc, bool)
+    if schema_type == "integer":
+        # Accept 7.0 the way the C++ validator does: an integral double is
+        # an integer for schema purposes (json has one number type).
+        return (isinstance(doc, int) and not isinstance(doc, bool)) or (
+            isinstance(doc, float) and doc == int(doc)
+        )
+    if schema_type == "number":
+        return isinstance(doc, (int, float)) and not isinstance(doc, bool)
+    if schema_type == "null":
+        return doc is None
+    return False
+
+
+def validate(schema, doc, root, path="$"):
+    """Returns a list of error strings (empty iff valid)."""
+    if "$ref" in schema:
+        ref = schema["$ref"]
+        prefix = "#/definitions/"
+        if not ref.startswith(prefix):
+            return [f"{path}: unsupported $ref '{ref}'"]
+        name = ref[len(prefix):]
+        target = root.get("definitions", {}).get(name)
+        if target is None:
+            return [f"{path}: unresolved $ref '{ref}'"]
+        return validate(target, doc, root, path)
+
+    errors = []
+    if "type" in schema and not type_ok(schema["type"], doc):
+        return [f"{path}: expected type {schema['type']}, "
+                f"got {type(doc).__name__}"]
+    if "enum" in schema and doc not in schema["enum"]:
+        errors.append(f"{path}: value {doc!r} not in enum {schema['enum']}")
+    if "minimum" in schema and isinstance(doc, (int, float)) \
+            and not isinstance(doc, bool) and doc < schema["minimum"]:
+        errors.append(f"{path}: {doc} < minimum {schema['minimum']}")
+    if isinstance(doc, dict):
+        for key in schema.get("required", []):
+            if key not in doc:
+                errors.append(f"{path}: missing required property '{key}'")
+        props = schema.get("properties", {})
+        for key, sub in props.items():
+            if key in doc:
+                errors += validate(sub, doc[key], root, f"{path}.{key}")
+        if schema.get("additionalProperties") is False:
+            for key in doc:
+                if key not in props:
+                    errors.append(f"{path}: unexpected property '{key}'")
+    if isinstance(doc, list) and "items" in schema:
+        for i, item in enumerate(doc):
+            errors += validate(schema["items"], item, root, f"{path}[{i}]")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    report_path = Path(argv[1])
+    schema_path = (
+        Path(argv[2]) if len(argv) == 3
+        else Path(__file__).resolve().parent / "report_schema.json"
+    )
+    try:
+        schema = json.loads(schema_path.read_text())
+        doc = json.loads(report_path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    errors = validate(schema, doc, schema)
+    if errors:
+        for e in errors:
+            print(f"SCHEMA VIOLATION {e}", file=sys.stderr)
+        return 1
+    n = len(doc.get("engines", []))
+    print(f"{report_path}: valid (schema_version "
+          f"{doc.get('schema_version')}, {n} engine runs)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -158,6 +158,25 @@ SymbolicResult SymbolicReachability::analyze() {
     result.peak_nodes = mgr.total_nodes();
   }
   result.seconds = timer.elapsed_seconds();
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options_.metrics;
+    const std::string p = options_.metrics_prefix;
+    reg.counter(p + "iterations").store(result.iterations);
+    reg.counter(p + "states")
+        .store(static_cast<std::uint64_t>(result.state_count));
+    reg.gauge(p + "peak_nodes").set(static_cast<double>(result.peak_nodes));
+    reg.gauge(p + "unique_table_load")
+        .set(options_.node_limit > 0
+                 ? static_cast<double>(result.peak_nodes) /
+                       static_cast<double>(options_.node_limit)
+                 : 0.0);
+    reg.timer(p + "seconds")
+        .record_ns(static_cast<std::uint64_t>(result.seconds * 1e9));
+    // Node record (var, low, high = 12B) plus a unique-table entry of the
+    // same key + index: ~24B per live node in this manager.
+    reg.gauge("mem." + p + "node_bytes")
+        .set(static_cast<double>(result.peak_nodes) * 24.0);
+  }
   return result;
 }
 

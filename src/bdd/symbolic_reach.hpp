@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bdd/bdd.hpp"
+#include "obs/metrics.hpp"
 #include "petri/net.hpp"
 
 namespace gpo::bdd {
@@ -39,6 +40,11 @@ struct SymbolicOptions {
   /// When set, only deadlocks marking this place count (safety-to-deadlock
   /// reduction); implemented as one extra conjunction on the dead-state set.
   std::optional<petri::PlaceId> required_deadlock_place;
+  /// Optional telemetry sink; publishes "<metrics_prefix>iterations",
+  /// "<metrics_prefix>peak_nodes", the unique-table load factor and the
+  /// fixpoint time when set.
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string metrics_prefix = "bdd.";
 };
 
 struct SymbolicResult {

@@ -8,6 +8,7 @@
 //   julie --model asat:4 --safety crit_4,crit_5
 //   julie --model nsdp:4 --structure --liveness
 //   julie --model over:3 --write-pnml over3.pnml
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -19,6 +20,10 @@
 #include "core/gpo.hpp"
 #include "mc/ctl.hpp"
 #include "models/models.hpp"
+#include "obs/heartbeat.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/span.hpp"
 #include "parser/net_format.hpp"
 #include "parser/pnml.hpp"
 #include "petri/dot.hpp"
@@ -27,6 +32,7 @@
 #include "reach/explorer.hpp"
 #include "safety/safety.hpp"
 #include "unfold/unfolding.hpp"
+#include "util/stopwatch.hpp"
 
 namespace {
 
@@ -49,14 +55,20 @@ int usage(const char* argv0) {
       << "  --max-seconds S    wall-clock cap per engine\n"
       << "  --threads N        worker threads for the exhaustive engine\n"
       << "                     (default 1 = deterministic sequential search)\n"
-      << "  --stats            print explorer statistics (states/sec, peak\n"
-      << "                     frontier, steal count, shard occupancy; with\n"
-      << "                     gpo-intern: interner size, dedup ratio,\n"
-      << "                     op-cache hit rate, family bytes)\n"
+      << "  --stats            print per-engine telemetry counters on stderr\n"
+      << "                     (states/sec, peak frontier, steals, shard\n"
+      << "                     occupancy, interner dedup, op-cache hit rate)\n"
+      << "  --progress [SECS]  heartbeat on stderr every SECS seconds\n"
+      << "                     (default 1): states/sec, frontier, peak RSS,\n"
+      << "                     interner occupancy, current phase\n"
+      << "  --report FILE      write a machine-readable JSON run report\n"
+      << "                     (schema: bench/report_schema.json)\n"
+      << "  --trace FILE       write the phase tree as chrome://tracing JSON\n"
       << "  --dot FILE         write the net structure as Graphviz DOT\n"
       << "  --write-net FILE   serialize the net in .net format\n"
       << "  --write-pnml FILE  serialize the net as PNML\n"
-      << "  --quiet            one summary line per engine only\n";
+      << "  --quiet            one summary line per engine only (stdout);\n"
+      << "                     diagnostics stay on stderr\n";
   return 2;
 }
 
@@ -84,13 +96,16 @@ struct Row {
   std::size_t peak_bdd = 0;
   bool deadlock = false;
   bool aborted = false;
+  std::string aborted_phase;  // which phase the limit interrupted
   double seconds = 0;
 };
 
 void print_row(const Row& r) {
   std::cout << "  " << r.engine << ": ";
   if (r.aborted) {
-    std::cout << "ABORTED (limit hit)";
+    std::cout << "ABORTED (limit hit";
+    if (!r.aborted_phase.empty()) std::cout << " in " << r.aborted_phase;
+    std::cout << ")";
   } else {
     if (r.states >= 0) std::cout << "states=" << r.states << " ";
     if (r.peak_bdd > 0) std::cout << "peak-bdd=" << r.peak_bdd << " ";
@@ -140,26 +155,32 @@ void run_structure(const PetriNet& net) {
             << "/" << net.place_count() << " places\n";
 }
 
-void print_stats(const gpo::reach::ExplorerStats& s) {
-  std::cout << "  stats: threads=" << s.threads << " states/s="
-            << static_cast<long long>(s.states_per_second)
-            << " peak-frontier=" << s.peak_frontier;
-  if (s.threads > 1) {
-    std::cout << " steals=" << s.steal_count << " shards=" << s.shard_count
-              << " shard-occupancy=" << s.min_shard_size << "/"
-              << static_cast<long long>(s.avg_shard_size) << "/"
-              << s.max_shard_size << " (min/avg/max)";
+/// The one registry-driven stats formatter (replaces the former per-engine
+/// hand-rolled printers): snapshots every counter the engine published under
+/// its prefix and prints them in registration order — the same names, in the
+/// same order, that `--report` serializes. Diagnostics go to stderr so
+/// stdout stays one line per engine.
+void print_engine_stats(const gpo::obs::MetricsRegistry& reg,
+                        const std::string& engine,
+                        const std::string& prefix) {
+  auto snaps = reg.snapshot(prefix);
+  if (snaps.empty()) return;
+  std::cerr << "  stats[" << engine << "]:";
+  for (const auto& s : snaps) {
+    std::cerr << ' ' << s.name.substr(prefix.size()) << '=';
+    switch (s.kind) {
+      case gpo::obs::MetricKind::kCounter:
+        std::cerr << s.count;
+        break;
+      case gpo::obs::MetricKind::kGauge:
+        std::cerr << s.value;
+        break;
+      case gpo::obs::MetricKind::kTimer:
+        std::cerr << s.value << 's';
+        break;
+    }
   }
-  std::cout << "\n";
-}
-
-void print_family_stats(const gpo::core::GpoFamilyStats& s) {
-  std::cout << "  family-interner: families=" << s.distinct_families
-            << " interned=" << s.intern_calls << " dedup="
-            << s.dedup_ratio << "x op-cache-hit="
-            << static_cast<long long>(s.op_cache_hit_rate * 100) << "% ("
-            << s.op_cache_hits << "/" << (s.op_cache_hits + s.op_cache_misses)
-            << ") family-bytes=" << s.families_bytes << "\n";
+  std::cerr << "\n";
 }
 
 void run_liveness(const PetriNet& net, std::size_t max_states,
@@ -199,6 +220,8 @@ int main(int argc, char** argv) {
   std::size_t num_threads = 1;
   bool want_stats = false;
   bool quiet = false;
+  double progress_secs = 0;  // 0 = no heartbeat
+  std::string report_file, trace_file;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -230,6 +253,20 @@ int main(int argc, char** argv) {
       if (num_threads == 0) num_threads = 1;
     } else if (arg == "--stats") {
       want_stats = true;
+    } else if (arg == "--progress") {
+      progress_secs = 1.0;
+      if (i + 1 < argc) {  // the SECS argument is optional
+        char* end = nullptr;
+        double v = std::strtod(argv[i + 1], &end);
+        if (end != argv[i + 1] && *end == '\0' && v > 0) {
+          progress_secs = v;
+          ++i;
+        }
+      }
+    } else if (arg == "--report") {
+      report_file = next();
+    } else if (arg == "--trace") {
+      trace_file = next();
     } else if (arg == "--dot") {
       dot_file = next();
     } else if (arg == "--write-net") {
@@ -248,13 +285,67 @@ int main(int argc, char** argv) {
     }
   }
 
+  // One registry + tracer for the whole run. Engines only pay for the live
+  // counters when some telemetry sink (--stats/--progress/--report/--trace)
+  // asked for them — otherwise they see null pointers.
+  gpo::obs::MetricsRegistry registry;
+  gpo::obs::Tracer tracer;
+  const bool telemetry = want_stats || progress_secs > 0 ||
+                         !report_file.empty() || !trace_file.empty();
+  gpo::obs::MetricsRegistry* reg = telemetry ? &registry : nullptr;
+  gpo::obs::Tracer* tr = telemetry ? &tracer : nullptr;
+
+  gpo::obs::RunReport report("julie");
+  {
+    std::string cmd;
+    for (int a = 0; a < argc; ++a) {
+      if (a > 0) cmd += ' ';
+      cmd += argv[a];
+    }
+    report.set_command(cmd);
+  }
+
+  std::optional<gpo::obs::Heartbeat> heartbeat;
+  if (progress_secs > 0) {
+    heartbeat.emplace(registry, tr, progress_secs, std::cerr);
+    heartbeat->start();
+  }
+  // Every exit path below goes through here, so the report/trace files get
+  // written (and the heartbeat prints its final line) no matter which
+  // analysis ran.
+  auto finish = [&](int rc) {
+    if (heartbeat) heartbeat->stop();
+    if (!report_file.empty()) {
+      std::ofstream out(report_file);
+      if (!out) {
+        std::cerr << "cannot write " << report_file << "\n";
+        if (rc == 0) rc = 1;
+      } else {
+        report.write(out, &tracer, &registry);
+        if (!quiet) std::cout << "wrote " << report_file << "\n";
+      }
+    }
+    if (!trace_file.empty()) {
+      std::ofstream out(trace_file);
+      if (!out) {
+        std::cerr << "cannot write " << trace_file << "\n";
+        if (rc == 0) rc = 1;
+      } else {
+        gpo::obs::write_chrome_trace(out, tracer.records());
+        if (!quiet) std::cout << "wrote " << trace_file << "\n";
+      }
+    }
+    return rc;
+  };
+
   std::optional<PetriNet> net;
   try {
+    gpo::obs::Span parse_span(tr, "parse");
     if (!model_spec.empty()) {
       net = make_model(model_spec);
       if (!net) {
         std::cerr << "unknown model '" << model_spec << "'\n";
-        return 2;
+        return finish(2);
       }
     } else if (!net_file.empty()) {
       bool is_pnml = net_file.size() >= 5 &&
@@ -262,12 +353,14 @@ int main(int argc, char** argv) {
       net = is_pnml ? gpo::parser::parse_pnml_file(net_file)
                     : gpo::parser::parse_net_file(net_file);
     } else {
-      return usage(argv[0]);
+      return finish(usage(argv[0]));
     }
   } catch (const std::exception& e) {
     std::cerr << "error loading net: " << e.what() << "\n";
-    return 1;
+    return finish(1);
   }
+  report.set_net(std::string(net->name()), net->place_count(),
+                 net->transition_count());
 
   if (!quiet)
     std::cout << "net '" << net->name() << "': " << net->place_count()
@@ -286,19 +379,26 @@ int main(int argc, char** argv) {
   };
   if (!write_file(dot_file,
                   [&](std::ostream& o) { gpo::petri::write_net_dot(o, *net); }))
-    return 1;
+    return finish(1);
   if (!write_file(write_net_file,
                   [&](std::ostream& o) { gpo::parser::write_net(o, *net); }))
-    return 1;
+    return finish(1);
   if (!write_file(write_pnml_file,
                   [&](std::ostream& o) { gpo::parser::write_pnml(o, *net); }))
-    return 1;
+    return finish(1);
 
-  if (want_structure) run_structure(*net);
-  if (want_liveness) run_liveness(*net, max_states, max_seconds, num_threads);
+  if (want_structure) {
+    gpo::obs::Span span(tr, "structure");
+    run_structure(*net);
+  }
+  if (want_liveness) {
+    gpo::obs::Span span(tr, "liveness");
+    run_liveness(*net, max_states, max_seconds, num_threads);
+  }
 
   if (!ctl_spec.empty()) {
     try {
+      gpo::obs::Span span(tr, "ctl");
       gpo::mc::CtlOptions opt;
       opt.max_states = max_states == SIZE_MAX ? 5'000'000 : max_states;
       auto r = gpo::mc::check_ctl(*net, ctl_spec, opt);
@@ -313,10 +413,10 @@ int main(int argc, char** argv) {
           std::cout << " " << net->transition(t).name;
         std::cout << "\n";
       }
-      return r.holds ? 0 : 10;
+      return finish(r.holds ? 0 : 10);
     } catch (const std::exception& e) {
       std::cerr << "CTL error: " << e.what() << "\n";
-      return 2;
+      return finish(2);
     }
   }
 
@@ -333,6 +433,8 @@ int main(int argc, char** argv) {
     gpo::safety::SafetyOptions opt;
     opt.max_states = max_states;
     opt.max_seconds = max_seconds;
+    opt.metrics = reg;
+    opt.tracer = tr;
     opt.engine = engine == "full"  ? gpo::safety::Engine::kExplicit
                  : engine == "por" ? gpo::safety::Engine::kStubborn
                  : engine == "bdd" ? gpo::safety::Engine::kSymbolic
@@ -349,68 +451,122 @@ int main(int argc, char** argv) {
     if (r.witness)
       std::cout << "  witness: "
                 << gpo::reach::marking_to_string(*net, *r.witness) << "\n";
-    return r.violated ? 10 : 0;
+    if (want_stats) print_engine_stats(registry, engine, "safety.");
+    gpo::obs::RunReport::EngineRun er;
+    er.engine = engine;
+    er.model = model_spec.empty() ? net_file : model_spec;
+    er.verdict =
+        r.violated ? "violated" : (r.limit_hit ? "undecided" : "holds");
+    er.states = static_cast<double>(r.states_explored);
+    er.seconds = r.seconds;
+    er.aborted = r.limit_hit;
+    er.aborted_phase = r.interrupted_phase;
+    er.counters = gpo::obs::registry_to_json(registry, "safety.");
+    report.add_engine(std::move(er));
+    return finish(r.violated ? 10 : 0);
   }
 
   bool any_deadlock = false;
   auto run_one = [&](const std::string& e) {
     Row row;
     row.engine = e;
+    const std::string prefix = "engine." + e + ".";
+    if (reg != nullptr) {
+      // The live-progress slots are shared between engines; reset them so
+      // the heartbeat shows per-engine progress under --engine all.
+      reg->counter("progress.states").store(0);
+      reg->gauge("progress.frontier").set(0);
+    }
+    gpo::obs::Span span(tr, "engine/" + e);
     try {
       if (e == "full") {
         gpo::reach::ExplorerOptions opt;
         opt.max_states = max_states;
         opt.max_seconds = max_seconds;
         opt.num_threads = num_threads;
+        opt.metrics = reg;
+        opt.metrics_prefix = prefix;
         auto r = gpo::reach::ExplicitExplorer(*net, opt).explore();
         row = {e, static_cast<double>(r.state_count), 0, r.deadlock_found,
-               r.limit_hit, r.seconds};
+               r.limit_hit, r.interrupted_phase, r.seconds};
         if (r.safeness_violation)
-          std::cout << "  WARNING: net is not 1-safe\n";
-        if (want_stats) print_stats(r.stats);
+          std::cerr << "  WARNING: net is not 1-safe\n";
       } else if (e == "por") {
         gpo::por::StubbornOptions opt;
         opt.max_states = max_states;
         opt.max_seconds = max_seconds;
+        opt.metrics = reg;
+        opt.metrics_prefix = prefix;
         auto r = gpo::por::StubbornExplorer(*net, opt).explore();
         row = {e, static_cast<double>(r.state_count), 0, r.deadlock_found,
-               r.limit_hit, r.seconds};
+               r.limit_hit, r.interrupted_phase, r.seconds};
       } else if (e == "bdd") {
         gpo::bdd::SymbolicOptions opt;
         opt.max_seconds = max_seconds;
+        opt.metrics = reg;
+        opt.metrics_prefix = prefix;
         auto r = gpo::bdd::SymbolicReachability(*net, opt).analyze();
-        row = {e, r.state_count, r.peak_nodes, r.deadlock_found, r.blowup,
+        row = {e,        r.state_count,
+               r.peak_nodes, r.deadlock_found,
+               r.blowup, r.blowup ? "symbolic-fixpoint" : "",
                r.seconds};
       } else if (e == "unfold") {
         gpo::unfold::UnfoldOptions opt;
+        opt.metrics = reg;
+        opt.metrics_prefix = prefix;
+        gpo::util::Stopwatch watch;
         auto p = gpo::unfold::unfold(*net, opt);
+        row.seconds = watch.elapsed_seconds();
+        row.aborted = p.limit_hit;
         std::cout << "  unfold: events=" << p.events.size()
                   << " conditions=" << p.conditions.size()
                   << " cutoffs=" << p.cutoff_count
                   << (p.limit_hit ? " (limit hit)" : "") << "\n";
-        return;
       } else if (e == "gpo" || e == "gpo-bdd" || e == "gpo-intern") {
         gpo::core::GpoOptions opt;
         opt.max_states = max_states;
         opt.max_seconds = max_seconds;
+        opt.metrics = reg;
+        opt.metrics_prefix = prefix;
+        opt.tracer = tr;
         auto kind = e == "gpo"       ? gpo::core::FamilyKind::kExplicit
                     : e == "gpo-bdd" ? gpo::core::FamilyKind::kBdd
                                      : gpo::core::FamilyKind::kInterned;
         auto r = gpo::core::run_gpo(*net, kind, opt);
         row = {e, static_cast<double>(r.state_count), 0, r.deadlock_found,
-               r.limit_hit, r.seconds};
-        if (want_stats && r.family_stats.available)
-          print_family_stats(r.family_stats);
+               r.limit_hit, r.interrupted_phase, r.seconds};
       } else {
         std::cerr << "unknown engine '" << e << "'\n";
         exit(2);
       }
     } catch (const std::exception& ex) {
       std::cout << "  " << e << ": failed: " << ex.what() << "\n";
+      gpo::obs::RunReport::EngineRun er;
+      er.engine = e;
+      er.model = model_spec.empty() ? net_file : model_spec;
+      er.verdict = "failed";
+      er.aborted = true;
+      report.add_engine(std::move(er));
       return;
     }
-    any_deadlock |= row.deadlock && !row.aborted;
-    print_row(row);
+    if (e != "unfold") {
+      any_deadlock |= row.deadlock && !row.aborted;
+      print_row(row);
+    }
+    if (want_stats) print_engine_stats(registry, e, prefix);
+    gpo::obs::RunReport::EngineRun er;
+    er.engine = e;
+    er.model = model_spec.empty() ? net_file : model_spec;
+    er.verdict = e == "unfold"  ? "unfolded"
+                 : row.aborted  ? "aborted"
+                 : row.deadlock ? "deadlock"
+                                : "no-deadlock";
+    er.states = e == "unfold" ? -1 : row.states;
+    er.seconds = row.seconds;
+    er.aborted = row.aborted;
+    er.aborted_phase = row.aborted_phase;
+    er.counters = gpo::obs::registry_to_json(registry, prefix);
+    report.add_engine(std::move(er));
   };
 
   if (engine == "all") {
@@ -420,5 +576,5 @@ int main(int argc, char** argv) {
   } else {
     run_one(engine);
   }
-  return any_deadlock ? 10 : 0;
+  return finish(any_deadlock ? 10 : 0);
 }

@@ -361,6 +361,26 @@ GpoResult GpnAnalyzer<Family>::explore() const {
   const std::size_t nt = net_.transition_count();
   result.fireable_transitions = util::Bitset(nt);
 
+  // Telemetry slots, resolved once. The MCS timer is always-on when a
+  // registry is attached (one clock read per expanded state); the per-state
+  // live-progress updates compile out with the hot-counter gate.
+  obs::Counter* live_states = nullptr;
+  obs::Gauge* live_frontier = nullptr;
+  obs::Gauge* live_families = nullptr;
+  obs::Timer* mcs_timer = nullptr;
+  if (options_.metrics != nullptr) {
+    mcs_timer =
+        &options_.metrics->timer(options_.metrics_prefix + "mcs_seconds");
+    if constexpr (obs::kHotCountersEnabled) {
+      live_states = &options_.metrics->counter("progress.states");
+      live_frontier = &options_.metrics->gauge("progress.frontier");
+      if constexpr (requires(Context& c, GpoFamilyStats& st) {
+                      c.fill_stats(st);
+                    })
+        live_families = &options_.metrics->gauge("interner.families");
+    }
+  }
+
   std::unordered_map<State, std::size_t, StateHash> index;
   std::vector<State> states;
   // Bookkeeping for the anti-ignoring fixpoint: the single-enabled set of
@@ -389,6 +409,7 @@ GpoResult GpnAnalyzer<Family>::explore() const {
       enabled_at.emplace_back(nt);
       fully_expanded.push_back(false);
       breadcrumbs.push_back(pending_crumb);
+      if (live_states != nullptr) live_states->add();
     }
     return {it->second, inserted};
   };
@@ -439,9 +460,21 @@ GpoResult GpnAnalyzer<Family>::explore() const {
   // Expands states from `frontier` until it drains (or a limit/stop hits).
   auto run_bfs = [&]() {
     while (!frontier.empty() && !stopped) {
+      if (live_frontier != nullptr) {
+        live_frontier->set(static_cast<double>(frontier.size()));
+        if (live_families != nullptr) {
+          GpoFamilyStats fs;
+          if constexpr (requires(Context& c, GpoFamilyStats& st) {
+                          c.fill_stats(st);
+                        })
+            ctx_.fill_stats(fs);
+          live_families->set(static_cast<double>(fs.distinct_families));
+        }
+      }
       if (states.size() > options_.max_states ||
           timer.elapsed_seconds() > options_.max_seconds) {
         result.limit_hit = true;
+        result.interrupted_phase = "reduced-search";
         return;
       }
       if (states.size() > options_.delegate_after_states) {
@@ -474,7 +507,10 @@ GpoResult GpnAnalyzer<Family>::explore() const {
       result.fireable_transitions |= enabled_at[si];
       if (single_enabled.empty()) continue;  // fully dead GPN state
 
-      Expansion plan = plan_expansion(s, single_enabled);
+      Expansion plan = [&] {
+        obs::ScopedTimer st(mcs_timer);
+        return plan_expansion(s, single_enabled);
+      }();
 
       auto emit = [&](State&& next, const util::Bitset& fired,
                       const std::string& label) {
@@ -512,7 +548,10 @@ GpoResult GpnAnalyzer<Family>::explore() const {
     }
   };
 
-  run_bfs();
+  {
+    obs::Span span(options_.tracer, "reduced-search");
+    run_bfs();
+  }
 
   // Fragmentation bail-out: the reduced search grew past the configured
   // threshold, which on re-contested cyclic nets means the scenario
@@ -520,10 +559,13 @@ GpoResult GpnAnalyzer<Family>::explore() const {
   // verdict with one classical stubborn-set search from the initial
   // marking (complete for deadlock detection on its own).
   if (result.bailed_to_classical && !stopped) {
+    obs::Span span(options_.tracer, "delegated-search");
     por::StubbornOptions sopt;
     sopt.max_states = options_.max_states;
     sopt.max_seconds = options_.max_seconds - timer.elapsed_seconds();
     sopt.stop_at_first_deadlock = true;
+    sopt.metrics = options_.metrics;
+    sopt.metrics_prefix = options_.metrics_prefix + "delegated.";
     if (options_.required_witness_place) {
       petri::PlaceId rp = *options_.required_witness_place;
       sopt.deadlock_filter = [rp](const petri::Marking& m) {
@@ -534,6 +576,7 @@ GpoResult GpnAnalyzer<Family>::explore() const {
         por::StubbornExplorer(net_, sopt).explore_from({net_.initial_marking()});
     result.delegated_states = delegated.state_count;
     result.limit_hit |= delegated.limit_hit;
+    if (delegated.limit_hit) result.interrupted_phase = "delegated-search";
     result.fireable_transitions |= delegated.fireable_transitions;
     if (delegated.deadlock_found && !result.deadlock_found) {
       result.deadlock_found = true;
@@ -553,6 +596,7 @@ GpoResult GpnAnalyzer<Family>::explore() const {
   // reachability graph and completes the deadlock verdict soundly.
   if (options_.ignoring_guard && !stopped && !result.limit_hit &&
       !result.bailed_to_classical) {
+    obs::Span span(options_.tracer, "ignoring-guard");
     // Tarjan over the current reduced graph.
     std::vector<std::vector<std::size_t>> succs(states.size());
     for (std::size_t e = 0; e < edges.size(); ++e)
@@ -635,6 +679,8 @@ GpoResult GpnAnalyzer<Family>::explore() const {
       sopt.max_states = options_.max_states;
       sopt.max_seconds = options_.max_seconds - timer.elapsed_seconds();
       sopt.stop_at_first_deadlock = true;
+      sopt.metrics = options_.metrics;
+      sopt.metrics_prefix = options_.metrics_prefix + "delegated.";
       if (options_.required_witness_place) {
         petri::PlaceId p = *options_.required_witness_place;
         sopt.deadlock_filter = [p](const petri::Marking& m) {
@@ -644,6 +690,7 @@ GpoResult GpnAnalyzer<Family>::explore() const {
       auto delegated = por::StubbornExplorer(net_, sopt).explore_from(roots);
       result.delegated_states = delegated.state_count;
       result.limit_hit |= delegated.limit_hit;
+      if (delegated.limit_hit) result.interrupted_phase = "ignoring-guard";
       if (delegated.deadlock_found && !result.deadlock_found) {
         result.deadlock_found = true;
         result.deadlock_witness = delegated.first_deadlock;
@@ -658,6 +705,12 @@ GpoResult GpnAnalyzer<Family>::explore() const {
   // dedup/cache counters; plain value representations leave the block empty.
   if constexpr (requires(Context& c, GpoFamilyStats& st) { c.fill_stats(st); })
     ctx_.fill_stats(result.family_stats);
+  if (options_.metrics != nullptr) {
+    publish_gpo_stats(*options_.metrics, options_.metrics_prefix, result);
+    if (live_families != nullptr)
+      live_families->set(
+          static_cast<double>(result.family_stats.distinct_families));
+  }
   if (options_.build_graph) {
     result.graph.initial = 0;
     result.graph.node_labels.reserve(states.size());

@@ -2,6 +2,54 @@
 
 namespace gpo::core {
 
+void publish_gpo_stats(obs::MetricsRegistry& reg, std::string_view prefix,
+                       const GpoResult& result) {
+  std::string p(prefix);
+  reg.counter(p + "states").store(result.state_count);
+  reg.counter(p + "edges").store(result.edge_count);
+  reg.counter(p + "multiple_steps").store(result.multiple_steps);
+  reg.counter(p + "single_steps").store(result.single_steps);
+  reg.counter(p + "ignoring_expansions").store(result.ignoring_expansions);
+  reg.counter(p + "delegated_states").store(result.delegated_states);
+  reg.gauge(p + "bailed_to_classical")
+      .set(result.bailed_to_classical ? 1.0 : 0.0);
+  reg.timer(p + "seconds")
+      .record_ns(static_cast<std::uint64_t>(result.seconds * 1e9));
+  const GpoFamilyStats& fs = result.family_stats;
+  if (fs.available) {
+    reg.counter(p + "family_distinct").store(fs.distinct_families);
+    reg.counter(p + "family_intern_calls").store(fs.intern_calls);
+    reg.gauge(p + "family_dedup_ratio").set(fs.dedup_ratio);
+    reg.counter(p + "family_op_cache_hits").store(fs.op_cache_hits);
+    reg.counter(p + "family_op_cache_misses").store(fs.op_cache_misses);
+    reg.gauge(p + "family_op_cache_hit_rate").set(fs.op_cache_hit_rate);
+    reg.gauge("mem." + p + "families_bytes")
+        .set(static_cast<double>(fs.families_bytes));
+  }
+}
+
+GpoFamilyStats family_stats_from_registry(const obs::MetricsRegistry& reg,
+                                          std::string_view prefix) {
+  std::string p(prefix);
+  GpoFamilyStats fs;
+  auto distinct = reg.value(p + "family_distinct");
+  if (!distinct) return fs;
+  auto get = [&](const std::string& name) {
+    return reg.value(p + name).value_or(0.0);
+  };
+  fs.available = true;
+  fs.distinct_families = static_cast<std::size_t>(*distinct);
+  fs.intern_calls = static_cast<std::size_t>(get("family_intern_calls"));
+  fs.dedup_ratio = get("family_dedup_ratio");
+  fs.op_cache_hits = static_cast<std::size_t>(get("family_op_cache_hits"));
+  fs.op_cache_misses =
+      static_cast<std::size_t>(get("family_op_cache_misses"));
+  fs.op_cache_hit_rate = get("family_op_cache_hit_rate");
+  fs.families_bytes = static_cast<std::size_t>(
+      reg.value("mem." + p + "families_bytes").value_or(0.0));
+  return fs;
+}
+
 GpoResult run_gpo(const petri::PetriNet& net, FamilyKind kind,
                   const GpoOptions& options) {
   if (kind == FamilyKind::kExplicit) {

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "petri/dot.hpp"
 #include "petri/net.hpp"
 #include "util/bitset.hpp"
@@ -44,6 +46,15 @@ struct GpoOptions {
   /// is applied family-algebraically: dead scenarios are intersected with
   /// m(place).
   std::optional<petri::PlaceId> required_witness_place;
+  /// Optional telemetry sink; when set the engine bumps the live progress
+  /// slots during the search, times the MCS computation, and publishes its
+  /// final counters under `metrics_prefix` before returning.
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string metrics_prefix = "gpo.";
+  /// Optional phase tracer: the engine opens "reduced-search",
+  /// "delegated-search" and "ignoring-guard" spans so the phase tree (and a
+  /// timeout's interrupted-phase diagnostic) show where the time went.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Counters of the hash-consed family store (FamilyKind::kInterned only;
@@ -102,6 +113,9 @@ struct GpoResult {
   util::Bitset fireable_transitions;
 
   bool limit_hit = false;
+  /// Which phase the limit interrupted: "reduced-search",
+  /// "delegated-search" or "ignoring-guard". Empty when !limit_hit.
+  std::string interrupted_phase;
   double seconds = 0.0;
 
   /// Interner/op-cache counters (FamilyKind::kInterned runs only).
@@ -109,5 +123,19 @@ struct GpoResult {
 
   petri::LabeledGraph graph;  // populated when GpoOptions::build_graph
 };
+
+/// Publishes the final counters of one GPO analysis under `prefix`
+/// (including the "family_*" interner block when available and the
+/// "mem.<prefix>families_bytes" gauge). Invoked by the engine itself when
+/// GpoOptions::metrics is set.
+void publish_gpo_stats(obs::MetricsRegistry& reg, std::string_view prefix,
+                       const GpoResult& result);
+
+/// Reconstructs the GpoFamilyStats view from counters previously published
+/// under `prefix` — the registry is the source of truth, the struct a
+/// convenience view. `available` reflects whether "<prefix>family_distinct"
+/// was ever published.
+[[nodiscard]] GpoFamilyStats family_stats_from_registry(
+    const obs::MetricsRegistry& reg, std::string_view prefix);
 
 }  // namespace gpo::core

@@ -1,0 +1,537 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gpo::obs::json {
+
+// ---------------------------------------------------------------------------
+// mutation
+// ---------------------------------------------------------------------------
+
+Value& Value::operator[](std::string_view key) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  if (type_ != Type::kObject)
+    throw std::runtime_error("json: operator[] on non-object");
+  for (Member& m : obj_)
+    if (m.first == key) return m.second;
+  obj_.emplace_back(std::string(key), Value());
+  return obj_.back().second;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const Member& m : obj_)
+    if (m.first == key) return &m.second;
+  return nullptr;
+}
+
+void Value::push_back(Value v) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  if (type_ != Type::kArray)
+    throw std::runtime_error("json: push_back on non-array");
+  arr_.push_back(std::move(v));
+}
+
+// ---------------------------------------------------------------------------
+// writer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void dump_escaped(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+// Shortest decimal representation that parses back to exactly `d`, so
+// dump/parse round-trips preserve the value bit-for-bit.
+void dump_double(std::ostream& out, double d) {
+  if (!std::isfinite(d)) {  // JSON has no inf/nan; clamp to null-ish zero
+    out << (d > 0 ? "1e308" : (d < 0 ? "-1e308" : "0"));
+    return;
+  }
+  char buf[40];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
+  // Ensure it still reads as a number with a fractional/exponent part so
+  // parse() keeps the double/int distinction.
+  std::string s(buf);
+  if (s.find_first_of(".eE") == std::string::npos) s += ".0";
+  out << s;
+}
+
+void put_newline_indent(std::ostream& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out << '\n';
+  for (int i = 0; i < indent * depth; ++i) out << ' ';
+}
+
+}  // namespace
+
+void Value::dump_impl(std::ostream& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      out << "null";
+      break;
+    case Type::kBool:
+      out << (bool_ ? "true" : "false");
+      break;
+    case Type::kInt:
+      out << int_;
+      break;
+    case Type::kDouble:
+      dump_double(out, dbl_);
+      break;
+    case Type::kString:
+      dump_escaped(out, str_);
+      break;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        out << "[]";
+        break;
+      }
+      out << '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) out << ',';
+        put_newline_indent(out, indent, depth + 1);
+        arr_[i].dump_impl(out, indent, depth + 1);
+      }
+      put_newline_indent(out, indent, depth);
+      out << ']';
+      break;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) {
+        out << "{}";
+        break;
+      }
+      out << '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i > 0) out << ',';
+        put_newline_indent(out, indent, depth + 1);
+        dump_escaped(out, obj_[i].first);
+        out << (indent > 0 ? ": " : ":");
+        obj_[i].second.dump_impl(out, indent, depth + 1);
+      }
+      put_newline_indent(out, indent, depth);
+      out << '}';
+      break;
+    }
+  }
+}
+
+void Value::dump(std::ostream& out, int indent) const {
+  dump_impl(out, indent, 0);
+}
+
+std::string Value::dump_string(int indent) const {
+  std::ostringstream ss;
+  dump(ss, indent);
+  return ss.str();
+}
+
+// ---------------------------------------------------------------------------
+// parser (recursive descent)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("json parse error at byte " +
+                             std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value parse_value() {
+    char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Value(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Value(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Value(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Value(nullptr);
+      default:
+        return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value obj = Value::object();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      expect(':');
+      obj[key] = parse_value();
+      char c = peek();
+      ++pos_;
+      if (c == '}') return obj;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value arr = Value::array();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      char c = peek();
+      ++pos_;
+      if (c == ']') return arr;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (telemetry strings are ASCII in
+          // practice; surrogate pairs are out of scope).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        if (c == '.' || c == 'e' || c == 'E') is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected a value");
+    std::string num(text_.substr(start, pos_ - start));
+    if (!is_double) {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(num.c_str(), &end, 10);
+      if (errno == 0 && end == num.c_str() + num.size()) return Value(v);
+      is_double = true;  // out of long long range: fall through to double
+    }
+    char* end = nullptr;
+    double d = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size()) fail("malformed number");
+    return Value(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value Value::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+bool Value::operator==(const Value& o) const {
+  if (is_number() && o.is_number()) {
+    if (type_ == o.type_)
+      return type_ == Type::kInt ? int_ == o.int_ : dbl_ == o.dbl_;
+    return as_number() == o.as_number() &&
+           as_number() == std::floor(as_number());
+  }
+  if (type_ != o.type_) return false;
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == o.bool_;
+    case Type::kInt:
+    case Type::kDouble:
+      return true;  // handled above
+    case Type::kString:
+      return str_ == o.str_;
+    case Type::kArray:
+      return arr_ == o.arr_;
+    case Type::kObject: {
+      if (obj_.size() != o.obj_.size()) return false;
+      for (const Member& m : obj_) {
+        const Value* other = o.find(m.first);
+        if (other == nullptr || !(m.second == *other)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// schema-subset validator
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const char* type_name(const Value& v) {
+  switch (v.type()) {
+    case Value::Type::kNull:
+      return "null";
+    case Value::Type::kBool:
+      return "boolean";
+    case Value::Type::kInt:
+      return "integer";
+    case Value::Type::kDouble:
+      return "number";
+    case Value::Type::kString:
+      return "string";
+    case Value::Type::kArray:
+      return "array";
+    case Value::Type::kObject:
+      return "object";
+  }
+  return "?";
+}
+
+bool type_matches(const std::string& want, const Value& v) {
+  if (want == "number") return v.is_number();
+  if (want == "integer")
+    return v.is_int() ||
+           (v.is_number() && v.as_number() == std::floor(v.as_number()));
+  if (want == "string") return v.is_string();
+  if (want == "boolean") return v.is_bool();
+  if (want == "object") return v.is_object();
+  if (want == "array") return v.is_array();
+  if (want == "null") return v.is_null();
+  return false;
+}
+
+bool validate_at(const Value& schema, const Value& doc, const Value& root,
+                 const std::string& path, std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr)
+      *error = (path.empty() ? std::string("$") : path) + ": " + why;
+    return false;
+  };
+
+  // $ref into #/definitions/<name> of the root schema.
+  if (const Value* ref = schema.find("$ref")) {
+    const std::string& target = ref->as_string();
+    const std::string kPrefix = "#/definitions/";
+    if (target.rfind(kPrefix, 0) != 0) return fail("unsupported $ref");
+    const Value* defs = root.find("definitions");
+    const Value* sub =
+        defs != nullptr ? defs->find(target.substr(kPrefix.size())) : nullptr;
+    if (sub == nullptr) return fail("unresolved $ref " + target);
+    return validate_at(*sub, doc, root, path, error);
+  }
+
+  if (const Value* type = schema.find("type")) {
+    if (!type_matches(type->as_string(), doc))
+      return fail("expected type " + type->as_string() + ", got " +
+                  type_name(doc));
+  }
+
+  if (const Value* en = schema.find("enum")) {
+    bool hit = false;
+    for (const Value& option : en->items())
+      if (option == doc) {
+        hit = true;
+        break;
+      }
+    if (!hit) return fail("value not in enum");
+  }
+
+  if (const Value* minimum = schema.find("minimum")) {
+    if (doc.is_number() && doc.as_number() < minimum->as_number())
+      return fail("below minimum");
+  }
+
+  if (doc.is_object()) {
+    if (const Value* req = schema.find("required")) {
+      for (const Value& key : req->items())
+        if (doc.find(key.as_string()) == nullptr)
+          return fail("missing required member '" + key.as_string() + "'");
+    }
+    const Value* props = schema.find("properties");
+    if (props != nullptr) {
+      for (const Value::Member& m : doc.members()) {
+        const Value* sub = props->find(m.first);
+        if (sub != nullptr) {
+          if (!validate_at(*sub, m.second, root, path + "." + m.first, error))
+            return false;
+        } else if (const Value* extra = schema.find("additionalProperties");
+                   extra != nullptr && extra->is_bool() && !extra->as_bool()) {
+          return fail("unexpected member '" + m.first + "'");
+        }
+      }
+    }
+  }
+
+  if (doc.is_array()) {
+    if (const Value* items = schema.find("items")) {
+      for (std::size_t i = 0; i < doc.items().size(); ++i)
+        if (!validate_at(*items, doc.items()[i], root,
+                         path + "[" + std::to_string(i) + "]", error))
+          return false;
+    }
+  }
+
+  return true;
+}
+
+}  // namespace
+
+bool validate(const Value& schema, const Value& doc, const Value& root_schema,
+              std::string* error) {
+  return validate_at(schema, doc, root_schema, "", error);
+}
+
+}  // namespace gpo::obs::json

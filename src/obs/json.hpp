@@ -1,0 +1,128 @@
+// Minimal JSON document model for the telemetry layer: an ordered value
+// tree with a writer, a parser and a JSON-Schema-subset validator.
+//
+// Why hand-rolled: the container bakes in no JSON library and the run-report
+// schema is small. The model keeps object member order (so reports are
+// deterministic and diffable), distinguishes integers from doubles (so
+// schema "integer" checks are meaningful), and dumps doubles with the
+// shortest round-tripping representation (so parse(dump(v)) == v exactly —
+// the property the report round-trip test relies on).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace gpo::obs::json {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Value() = default;
+  Value(std::nullptr_t) {}
+  Value(bool b) : type_(Type::kBool), bool_(b) {}
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  Value(T v) : type_(Type::kInt), int_(static_cast<long long>(v)) {}
+  Value(double d) : type_(Type::kDouble), dbl_(d) {}
+  Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Value(std::string_view s) : type_(Type::kString), str_(s) {}
+  Value(const char* s) : type_(Type::kString), str_(s) {}
+
+  [[nodiscard]] static Value array() {
+    Value v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  [[nodiscard]] static Value object() {
+    Value v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_int() const { return type_ == Type::kInt; }
+  [[nodiscard]] bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] long long as_int() const { return int_; }
+  [[nodiscard]] double as_number() const {
+    return type_ == Type::kInt ? static_cast<double>(int_) : dbl_;
+  }
+  [[nodiscard]] const std::string& as_string() const { return str_; }
+
+  // -- object access --------------------------------------------------------
+
+  using Member = std::pair<std::string, Value>;
+
+  /// Inserts (or finds) `key`; converts a null value into an object first.
+  Value& operator[](std::string_view key);
+  /// Member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+  [[nodiscard]] const std::vector<Member>& members() const { return obj_; }
+
+  // -- array access ---------------------------------------------------------
+
+  /// Appends; converts a null value into an array first.
+  void push_back(Value v);
+  [[nodiscard]] const std::vector<Value>& items() const { return arr_; }
+
+  [[nodiscard]] std::size_t size() const {
+    return type_ == Type::kArray ? arr_.size() : obj_.size();
+  }
+
+  // -- serialization --------------------------------------------------------
+
+  void dump(std::ostream& out, int indent = 2) const;
+  [[nodiscard]] std::string dump_string(int indent = 2) const;
+
+  /// Parses a complete JSON document; throws std::runtime_error with a byte
+  /// offset on malformed input.
+  [[nodiscard]] static Value parse(std::string_view text);
+
+  /// Deep structural equality. Object member *order* is ignored (two objects
+  /// with the same key/value pairs are equal); numbers compare by exact
+  /// value with kInt(n) == kDouble(n) when the double is integral.
+  bool operator==(const Value& o) const;
+  bool operator!=(const Value& o) const { return !(*this == o); }
+
+ private:
+  void dump_impl(std::ostream& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  long long int_ = 0;
+  double dbl_ = 0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::vector<Member> obj_;
+};
+
+/// Validates `doc` against a JSON-Schema subset: `type` (single string),
+/// `required`, `properties`, `items`, `enum` (strings), `minimum`,
+/// `additionalProperties` (boolean), and `$ref` into `#/definitions/...` of
+/// the root schema. On failure returns false and, if `error` is non-null,
+/// stores a "path: reason" message. This is the same subset
+/// bench/validate_report.py implements, so C++ tests and CI agree.
+bool validate(const Value& schema, const Value& doc, const Value& root_schema,
+              std::string* error);
+
+inline bool validate(const Value& schema, const Value& doc,
+                     std::string* error) {
+  return validate(schema, doc, schema, error);
+}
+
+}  // namespace gpo::obs::json

@@ -1,0 +1,98 @@
+// Machine-readable run reports (`julie --report FILE`) and Chrome-trace
+// export (`--trace FILE`).
+//
+// The report is the schema-stable JSON every front-end emits — `julie`,
+// `bench_table1 --report` and `bench_gpo_intern --report` all go through
+// RunReport, so cross-engine comparisons (the paper's Table 1, the ROADMAP's
+// BENCH_* trajectory) are one `jq` away instead of a stdout-scraping
+// exercise. The schema is checked in at bench/report_schema.json and
+// validated both by the C++ golden test (obs::json::validate) and by CI
+// (bench/validate_report.py).
+//
+// Document layout (schema_version 1):
+//   {
+//     "schema_version": 1,
+//     "tool": "julie",
+//     "command": "...",                      // optional
+//     "net": {"name":..,"places":..,"transitions":..},
+//     "engines": [ {"engine":"full", "model":"nsdp:8", "verdict":"deadlock",
+//                   "states":.., "seconds":.., "aborted":false,
+//                   "aborted_phase":"", "counters":{...}} ],
+//     "phases": [ {"name":"parse","ms":..,"children":[...]} ],
+//     "memory": {"peak_rss_bytes":.., "gauges":{...}}   // registry "mem.*"
+//   }
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace gpo::obs {
+
+/// High-water resident set size of this process (Linux: VmHWM of
+/// /proc/self/status); 0 when unavailable.
+[[nodiscard]] std::size_t peak_rss_bytes();
+/// Current resident set size (Linux: VmRSS); 0 when unavailable.
+[[nodiscard]] std::size_t current_rss_bytes();
+
+/// Registry entries under `prefix` as an ordered JSON object; the prefix is
+/// stripped from the keys and the remaining dots become underscores, so
+/// "engine.full.peak_frontier" serializes as "peak_frontier". Counters
+/// serialize as integers, gauges and timers as numbers.
+[[nodiscard]] json::Value registry_to_json(const MetricsRegistry& reg,
+                                           std::string_view prefix);
+
+/// The span records as a nested phase tree: [{name, ms, children}]. Spans
+/// still open at snapshot time get "ms": -1.
+[[nodiscard]] json::Value phase_tree(
+    const std::vector<Tracer::Record>& records);
+
+/// Writes the records as chrome://tracing JSON ("traceEvents" of complete
+/// "X" events, microsecond timestamps). Load via chrome://tracing or
+/// https://ui.perfetto.dev.
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<Tracer::Record>& records);
+
+class RunReport {
+ public:
+  explicit RunReport(std::string tool) : tool_(std::move(tool)) {}
+
+  void set_command(std::string command) { command_ = std::move(command); }
+  void set_net(const std::string& name, std::size_t places,
+               std::size_t transitions);
+
+  /// One engine run. `states` < 0 means "not applicable" (serialized as -1,
+  /// e.g. the unfolder reports events through counters instead).
+  struct EngineRun {
+    std::string engine;
+    std::string model;  // optional: bench drivers tag the instance
+    std::string verdict;
+    double states = -1;
+    double seconds = 0;
+    bool aborted = false;
+    std::string aborted_phase;
+    json::Value counters = json::Value::object();
+  };
+  void add_engine(EngineRun run) { engines_.push_back(std::move(run)); }
+
+  /// Assembles the full document. `tracer` supplies the phase tree and `reg`
+  /// the "mem." gauges; either may be null.
+  [[nodiscard]] json::Value build(const Tracer* tracer,
+                                  const MetricsRegistry* reg) const;
+
+  void write(std::ostream& out, const Tracer* tracer,
+             const MetricsRegistry* reg) const;
+
+ private:
+  std::string tool_;
+  std::string command_;
+  json::Value net_ = json::Value::object();
+  std::vector<EngineRun> engines_;
+};
+
+}  // namespace gpo::obs

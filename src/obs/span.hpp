@@ -1,0 +1,121 @@
+// Phase tracing: RAII spans recording a timing tree.
+//
+// A Tracer accumulates span records (name, parent, start, duration) against
+// a fixed steady_clock epoch; Span opens a node on construction and closes
+// it on destruction. The records double as
+//   * the "phases" tree of the machine-readable run report
+//     (obs::phase_tree), and
+//   * a chrome://tracing-compatible event stream (obs::write_chrome_trace),
+// both produced by obs/report.
+//
+// Spans are designed for the coarse phase structure of a verification run
+// (parse -> structural analysis -> per-engine search -> report); per-state
+// costs inside the engines are aggregated with obs::Timer metrics instead.
+// The tracer is mutex-guarded so a background heartbeat can read
+// current_path() while the main thread runs, but span open/close is expected
+// to be strictly nested per thread (RAII enforces that per scope).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gpo::obs {
+
+class Tracer {
+ public:
+  struct Record {
+    std::string name;
+    /// 1-based index of the parent record; 0 = top-level.
+    std::uint32_t parent = 0;
+    std::uint32_t depth = 0;
+    std::int64_t start_us = 0;
+    /// -1 while the span is still open.
+    std::int64_t dur_us = -1;
+  };
+
+  Tracer() : epoch_(Clock::now()) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Snapshot of all records so far, in span-open order (so a parent always
+  /// precedes its children). Open spans have dur_us == -1.
+  [[nodiscard]] std::vector<Record> records() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_;
+  }
+
+  /// The open span stack as "outer/inner/..." — what the run is doing right
+  /// now. Used by the heartbeat line and timeout diagnostics.
+  [[nodiscard]] std::string current_path() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out;
+    for (std::size_t idx : open_) {
+      if (!out.empty()) out += '/';
+      out += records_[idx].name;
+    }
+    return out;
+  }
+
+ private:
+  friend class Span;
+  using Clock = std::chrono::steady_clock;
+
+  [[nodiscard]] std::int64_t now_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 epoch_)
+        .count();
+  }
+
+  std::size_t begin(std::string name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Record r;
+    r.name = std::move(name);
+    r.parent = open_.empty()
+                   ? 0
+                   : static_cast<std::uint32_t>(open_.back() + 1);
+    r.depth = static_cast<std::uint32_t>(open_.size());
+    r.start_us = now_us();
+    records_.push_back(std::move(r));
+    open_.push_back(records_.size() - 1);
+    return records_.size() - 1;
+  }
+
+  void end(std::size_t idx) {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_[idx].dur_us = now_us() - records_[idx].start_us;
+    for (auto it = open_.rbegin(); it != open_.rend(); ++it)
+      if (*it == idx) {
+        open_.erase(std::next(it).base());
+        break;
+      }
+  }
+
+  mutable std::mutex mu_;
+  std::vector<Record> records_;
+  std::vector<std::size_t> open_;  // indices into records_, outer..inner
+  Clock::time_point epoch_;
+};
+
+/// RAII phase scope. A null tracer makes the span a no-op, so engines can
+/// open spans unconditionally against an optional tracer pointer.
+class Span {
+ public:
+  Span(Tracer* tracer, std::string name) : tracer_(tracer) {
+    if (tracer_ != nullptr) idx_ = tracer_->begin(std::move(name));
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() {
+    if (tracer_ != nullptr) tracer_->end(idx_);
+  }
+
+ private:
+  Tracer* tracer_;
+  std::size_t idx_ = 0;
+};
+
+}  // namespace gpo::obs

@@ -101,6 +101,13 @@ reach::ExplorerResult StubbornExplorer::explore_from(
   result.fireable_transitions = util::Bitset(net_.transition_count());
   util::Stopwatch timer;
 
+  obs::Counter* live_states = nullptr;
+  obs::Gauge* live_frontier = nullptr;
+  if (obs::kHotCountersEnabled && options_.metrics != nullptr) {
+    live_states = &options_.metrics->counter("progress.states");
+    live_frontier = &options_.metrics->gauge("progress.frontier");
+  }
+
   std::unordered_map<Marking, std::size_t> index;
   std::vector<Marking> states;
   struct Breadcrumb {
@@ -115,6 +122,7 @@ reach::ExplorerResult StubbornExplorer::explore_from(
     if (inserted) {
       states.push_back(m);
       breadcrumbs.push_back({parent, via});
+      if (live_states != nullptr) live_states->add();
     }
     return {it->second, inserted};
   };
@@ -154,10 +162,15 @@ reach::ExplorerResult StubbornExplorer::explore_from(
     }
   }
 
+  std::size_t peak_frontier = frontier.size();
   while (!frontier.empty() && !stopped) {
+    peak_frontier = std::max(peak_frontier, frontier.size());
+    if (live_frontier != nullptr)
+      live_frontier->set(static_cast<double>(frontier.size()));
     if (states.size() > options_.max_states ||
         timer.elapsed_seconds() > options_.max_seconds) {
       result.limit_hit = true;
+      result.interrupted_phase = "reduced-search";
       break;
     }
     std::size_t s = frontier.front();
@@ -189,6 +202,17 @@ reach::ExplorerResult StubbornExplorer::explore_from(
 
   result.state_count = states.size();
   result.seconds = timer.elapsed_seconds();
+  result.stats.threads = 1;
+  result.stats.peak_frontier = peak_frontier;
+  if (result.seconds > 0)
+    result.stats.states_per_second = result.state_count / result.seconds;
+  if (options_.metrics != nullptr) {
+    std::size_t per_marking =
+        sizeof(Marking) +
+        (states.empty() ? 0 : states.front().memory_bytes());
+    reach::publish_explorer_stats(*options_.metrics, options_.metrics_prefix,
+                                  result, states.size() * per_marking);
+  }
   if (options_.build_graph) {
     result.graph.initial = 0;
     for (const Marking& m : states)

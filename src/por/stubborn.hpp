@@ -52,6 +52,9 @@ struct StubbornOptions {
   /// monitor-induced deadlocks). Stubborn sets preserve *all* deadlocks, so
   /// filtering is sound.
   std::function<bool(const petri::Marking&)> deadlock_filter;
+  /// Optional telemetry sink; see reach::ExplorerOptions::metrics.
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string metrics_prefix = "por.";
 };
 
 /// Reduced-order explorer: breadth-first search that expands, per marking,

@@ -29,10 +29,63 @@ ExplorerResult ExplicitExplorer::explore() const {
   return explore_sequential();
 }
 
+void publish_explorer_stats(obs::MetricsRegistry& reg, std::string_view prefix,
+                            const ExplorerResult& result,
+                            std::size_t visited_bytes) {
+  std::string p(prefix);
+  reg.counter(p + "states").store(result.state_count);
+  reg.counter(p + "edges").store(result.edge_count);
+  reg.counter(p + "deadlocks").store(result.deadlock_count);
+  reg.gauge(p + "threads").set(static_cast<double>(result.stats.threads));
+  reg.gauge(p + "states_per_second").set(result.stats.states_per_second);
+  reg.gauge(p + "peak_frontier")
+      .set(static_cast<double>(result.stats.peak_frontier));
+  reg.timer(p + "seconds")
+      .record_ns(static_cast<std::uint64_t>(result.seconds * 1e9));
+  if (result.stats.threads > 1) {
+    reg.counter(p + "steals").store(result.stats.steal_count);
+    reg.gauge(p + "shards").set(static_cast<double>(result.stats.shard_count));
+    reg.gauge(p + "min_shard_size")
+        .set(static_cast<double>(result.stats.min_shard_size));
+    reg.gauge(p + "max_shard_size")
+        .set(static_cast<double>(result.stats.max_shard_size));
+    reg.gauge(p + "avg_shard_size").set(result.stats.avg_shard_size);
+  }
+  reg.gauge("mem." + p + "visited_bytes")
+      .set(static_cast<double>(visited_bytes));
+}
+
+ExplorerStats stats_from_registry(const obs::MetricsRegistry& reg,
+                                  std::string_view prefix) {
+  std::string p(prefix);
+  auto get = [&](const std::string& name) {
+    return reg.value(p + name).value_or(0.0);
+  };
+  ExplorerStats s;
+  s.threads = static_cast<std::size_t>(get("threads"));
+  s.states_per_second = get("states_per_second");
+  s.peak_frontier = static_cast<std::size_t>(get("peak_frontier"));
+  s.steal_count = static_cast<std::size_t>(get("steals"));
+  s.shard_count = static_cast<std::size_t>(get("shards"));
+  s.min_shard_size = static_cast<std::size_t>(get("min_shard_size"));
+  s.max_shard_size = static_cast<std::size_t>(get("max_shard_size"));
+  s.avg_shard_size = get("avg_shard_size");
+  return s;
+}
+
 ExplorerResult ExplicitExplorer::explore_sequential() const {
   ExplorerResult result;
   result.fireable_transitions = util::Bitset(net_.transition_count());
   util::Stopwatch timer;
+
+  // Live-progress slots for the heartbeat; resolved once so the hot path is
+  // a null check plus a relaxed fetch_add.
+  obs::Counter* live_states = nullptr;
+  obs::Gauge* live_frontier = nullptr;
+  if (obs::kHotCountersEnabled && options_.metrics != nullptr) {
+    live_states = &options_.metrics->counter("progress.states");
+    live_frontier = &options_.metrics->gauge("progress.frontier");
+  }
 
   // Index of each stored marking, plus (parent, transition) breadcrumbs for
   // counterexample reconstruction.
@@ -50,6 +103,7 @@ ExplorerResult ExplicitExplorer::explore_sequential() const {
     if (inserted) {
       states.push_back(m);
       breadcrumbs.push_back({parent, via});
+      if (live_states != nullptr) live_states->add();
     }
     return {it->second, inserted};
   };
@@ -95,9 +149,12 @@ ExplorerResult ExplicitExplorer::explore_sequential() const {
 
   while (!frontier.empty() && !stopped) {
     peak_frontier = std::max(peak_frontier, frontier.size());
+    if (live_frontier != nullptr)
+      live_frontier->set(static_cast<double>(frontier.size()));
     if (states.size() > options_.max_states ||
         timer.elapsed_seconds() > options_.max_seconds) {
       result.limit_hit = true;
+      result.interrupted_phase = "exploration";
       break;
     }
     std::size_t s = frontier.front();
@@ -133,6 +190,18 @@ ExplorerResult ExplicitExplorer::explore_sequential() const {
   result.stats.peak_frontier = peak_frontier;
   if (result.seconds > 0)
     result.stats.states_per_second = result.state_count / result.seconds;
+  if (options_.metrics != nullptr) {
+    // Marking payloads are uniform, so one sample prices the whole store.
+    std::size_t per_marking =
+        sizeof(Marking) +
+        (states.empty() ? 0 : states.front().memory_bytes());
+    std::size_t visited_bytes =
+        states.size() * per_marking +
+        index.bucket_count() * sizeof(void*) +
+        breadcrumbs.size() * sizeof(Breadcrumb);
+    publish_explorer_stats(*options_.metrics, options_.metrics_prefix, result,
+                           visited_bytes);
+  }
   if (options_.build_graph) {
     result.graph.initial = 0;
     result.graph.node_labels.reserve(states.size());

@@ -10,6 +10,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "petri/dot.hpp"
 #include "petri/net.hpp"
 #include "util/bitset.hpp"
@@ -39,6 +40,14 @@ struct ExplorerOptions {
   /// Stripes of the concurrent marking set. 0 = auto (scales with
   /// num_threads). Ignored on the sequential path.
   std::size_t shard_count = 0;
+  /// Optional telemetry sink. When set, the engine bumps the live
+  /// "progress.states" / "progress.frontier" slots during the search (unless
+  /// hot counters are compiled out) and publishes its final counters under
+  /// `metrics_prefix` before returning. Results are bit-identical with or
+  /// without a registry attached.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Name prefix of the published counters, e.g. "engine.full.".
+  std::string metrics_prefix = "full.";
 };
 
 /// Observability counters for one exploration, printed by `julie --stats`.
@@ -84,6 +93,9 @@ struct ExplorerResult {
 
   /// True when max_states/max_seconds stopped the search early.
   bool limit_hit = false;
+  /// Which phase the limit interrupted ("exploration" for this engine; the
+  /// reduced engines report their own phase names). Empty when !limit_hit.
+  std::string interrupted_phase;
   double seconds = 0.0;
 
   ExplorerStats stats;
@@ -112,6 +124,20 @@ class ExplicitExplorer {
   const petri::PetriNet& net_;
   ExplorerOptions options_;
 };
+
+/// Publishes the final counters of one exploration under `prefix`
+/// ("<prefix>states", "<prefix>peak_frontier", ... plus the
+/// "mem.<prefix>visited_bytes" gauge). Engines call this themselves when
+/// ExplorerOptions::metrics is set; bench drivers may call it directly.
+void publish_explorer_stats(obs::MetricsRegistry& reg, std::string_view prefix,
+                            const ExplorerResult& result,
+                            std::size_t visited_bytes);
+
+/// Reconstructs the ExplorerStats view from counters previously published
+/// under `prefix` — the registry is the source of truth, the struct a
+/// convenience view (missing names read as zero).
+[[nodiscard]] ExplorerStats stats_from_registry(const obs::MetricsRegistry& reg,
+                                                std::string_view prefix);
 
 /// Renders a marking as the set of marked place names, e.g. "{p0,p3}".
 [[nodiscard]] std::string marking_to_string(const petri::PetriNet& net,

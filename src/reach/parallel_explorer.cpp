@@ -90,6 +90,11 @@ struct SharedSearch {
   std::atomic<bool> stop{false};
   std::atomic<bool> limit_hit{false};
 
+  // Live-progress slots for the heartbeat (null when telemetry is off or the
+  // hot counters were compiled out). Shared by all workers; relaxed atomics.
+  obs::Counter* live_states = nullptr;
+  obs::Gauge* live_frontier = nullptr;
+
   // Rarely touched "first witness" slots, hence one plain mutex.
   std::mutex first_mu;
   std::optional<StateId> first_deadlock_id;
@@ -157,6 +162,10 @@ void expand(SharedSearch& shared, std::size_t me, const WorkItem& item,
       std::uint64_t now =
           shared.in_flight.fetch_add(1, std::memory_order_seq_cst) + 1;
       shared.note_peak(now);
+      if (shared.live_states != nullptr) {
+        shared.live_states->add();
+        shared.live_frontier->set(static_cast<double>(now));
+      }
       shared.queues[me].push({id, std::move(next)});
     }
     if (shared.stop.load(std::memory_order_relaxed)) return;
@@ -197,6 +206,10 @@ ExplorerResult ExplicitExplorer::explore_parallel() const {
   if (shards == 0) shards = std::max<std::size_t>(16, 4 * threads);
 
   SharedSearch shared(net_, options_, threads, shards);
+  if (obs::kHotCountersEnabled && options_.metrics != nullptr) {
+    shared.live_states = &options_.metrics->counter("progress.states");
+    shared.live_frontier = &options_.metrics->gauge("progress.frontier");
+  }
   std::vector<WorkerTally> tallies(threads);
   for (WorkerTally& t : tallies)
     t.fireable = util::Bitset(net_.transition_count());
@@ -271,6 +284,10 @@ ExplorerResult ExplicitExplorer::explore_parallel() const {
   result.stats.max_shard_size = max_s;
   if (!occupancy.empty())
     result.stats.avg_shard_size = static_cast<double>(sum) / occupancy.size();
+  if (result.limit_hit) result.interrupted_phase = "exploration";
+  if (options_.metrics != nullptr)
+    publish_explorer_stats(*options_.metrics, options_.metrics_prefix, result,
+                           shared.set.memory_bytes());
   return result;
 }
 

@@ -68,19 +68,26 @@ Marking strip_bookkeeping(const Marking& reduced_marking,
 
 SafetyResult check_safety(const PetriNet& net, const SafetyProperty& prop,
                           const SafetyOptions& options) {
-  ReducedNet reduced = reduce_safety_to_deadlock(net, prop);
+  std::optional<ReducedNet> reduced;
+  {
+    obs::Span span(options.tracer, "safety-reduction");
+    reduced.emplace(reduce_safety_to_deadlock(net, prop));
+  }
   SafetyResult result;
-  const PlaceId violation = reduced.violation_place;
+  const PlaceId violation = reduced->violation_place;
 
   switch (options.engine) {
     case Engine::kExplicit: {
       // The explicit engine can check the predicate directly on the original
       // net — no reduction overhead, and it doubles as the ground truth the
       // reduction is validated against.
+      obs::Span span(options.tracer, "exploration");
       reach::ExplorerOptions opt;
       opt.max_states = options.max_states;
       opt.max_seconds = options.max_seconds;
       opt.stop_at_first_deadlock = true;  // stop at first hit
+      opt.metrics = options.metrics;
+      opt.metrics_prefix = "safety.";
       opt.bad_state = [&](const Marking& m) {
         return std::all_of(prop.never_all_marked.begin(),
                            prop.never_all_marked.end(),
@@ -90,38 +97,47 @@ SafetyResult check_safety(const PetriNet& net, const SafetyProperty& prop,
       result.violated = r.bad_state_found;
       if (r.first_bad_state) result.witness = *r.first_bad_state;
       result.limit_hit = r.limit_hit;
+      result.interrupted_phase = r.interrupted_phase;
       result.seconds = r.seconds;
       result.states_explored = r.state_count;
       return result;
     }
     case Engine::kStubborn: {
+      obs::Span span(options.tracer, "reduced-search");
       por::StubbornOptions opt;
       opt.max_states = options.max_states;
       opt.max_seconds = options.max_seconds;
       opt.stop_at_first_deadlock = true;
+      opt.metrics = options.metrics;
+      opt.metrics_prefix = "safety.";
       opt.deadlock_filter = [violation](const Marking& m) {
         return m.test(violation);
       };
-      auto r = por::StubbornExplorer(reduced.net, opt).explore();
+      auto r = por::StubbornExplorer(reduced->net, opt).explore();
       result.violated = r.deadlock_found;
       if (r.first_deadlock)
         result.witness = strip_bookkeeping(*r.first_deadlock,
                                            net.place_count());
       result.limit_hit = r.limit_hit;
+      result.interrupted_phase = r.interrupted_phase;
       result.seconds = r.seconds;
       result.states_explored = r.state_count;
       return result;
     }
     case Engine::kSymbolic: {
+      obs::Span span(options.tracer, "symbolic-fixpoint");
       bdd::SymbolicOptions opt;
       opt.max_seconds = options.max_seconds;
       opt.required_deadlock_place = violation;
-      auto r = bdd::SymbolicReachability(reduced.net, opt).analyze();
+      opt.metrics = options.metrics;
+      opt.metrics_prefix = "safety.";
+      auto r = bdd::SymbolicReachability(reduced->net, opt).analyze();
       result.violated = r.deadlock_found;
       if (r.deadlock_witness)
         result.witness = strip_bookkeeping(*r.deadlock_witness,
                                            net.place_count());
       result.limit_hit = r.blowup;
+      if (r.blowup) result.interrupted_phase = "symbolic-fixpoint";
       result.seconds = r.seconds;
       result.states_explored = static_cast<std::size_t>(r.state_count);
       return result;
@@ -134,16 +150,20 @@ SafetyResult check_safety(const PetriNet& net, const SafetyProperty& prop,
       opt.max_seconds = options.max_seconds;
       opt.stop_at_first_deadlock = true;
       opt.required_witness_place = violation;
+      opt.metrics = options.metrics;
+      opt.metrics_prefix = "safety.";
+      opt.tracer = options.tracer;
       auto kind = options.engine == Engine::kGpo ? core::FamilyKind::kExplicit
                   : options.engine == Engine::kGpoInterned
                       ? core::FamilyKind::kInterned
                       : core::FamilyKind::kBdd;
-      auto r = core::run_gpo(reduced.net, kind, opt);
+      auto r = core::run_gpo(reduced->net, kind, opt);
       result.violated = r.deadlock_found;
       if (r.deadlock_witness)
         result.witness = strip_bookkeeping(*r.deadlock_witness,
                                            net.place_count());
       result.limit_hit = r.limit_hit;
+      result.interrupted_phase = r.interrupted_phase;
       result.seconds = r.seconds;
       result.states_explored = r.state_count;
       return result;

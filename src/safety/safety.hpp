@@ -28,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "petri/net.hpp"
 
 namespace gpo::safety {
@@ -68,6 +70,11 @@ struct SafetyOptions {
   Engine engine = Engine::kGpoBdd;
   std::size_t max_states = std::numeric_limits<std::size_t>::max();
   double max_seconds = std::numeric_limits<double>::infinity();
+  /// Optional telemetry: the reduction and the inner engine run get
+  /// "safety-reduction" / engine spans on `tracer`, and the inner engine
+  /// publishes its counters to `metrics` under "safety.".
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 struct SafetyResult {
@@ -76,6 +83,8 @@ struct SafetyResult {
   /// (the reduction's bookkeeping places stripped).
   std::optional<petri::Marking> witness;
   bool limit_hit = false;
+  /// Phase a limit interrupted (from the inner engine). Empty otherwise.
+  std::string interrupted_phase;
   double seconds = 0.0;
   /// States explored by the selected engine on the reduced net.
   std::size_t states_explored = 0;

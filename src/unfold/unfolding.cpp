@@ -41,7 +41,12 @@ struct Candidate {
 class Unfolder {
  public:
   Unfolder(const PetriNet& net, const UnfoldOptions& options)
-      : net_(net), options_(options) {}
+      : net_(net), options_(options) {
+    if (obs::kHotCountersEnabled && options_.metrics != nullptr) {
+      live_events_ = &options_.metrics->counter("progress.states");
+      live_queue_ = &options_.metrics->gauge("progress.frontier");
+    }
+  }
 
   Prefix run() {
     // Initial conditions: one per initially marked place, pairwise co.
@@ -68,6 +73,23 @@ class Unfolder {
       Candidate cand = queue_.top();
       queue_.pop();
       insert_event(cand);
+      if (live_queue_ != nullptr)
+        live_queue_->set(static_cast<double>(queue_.size()));
+    }
+    if (options_.metrics != nullptr) {
+      obs::MetricsRegistry& reg = *options_.metrics;
+      const std::string p = options_.metrics_prefix;
+      reg.counter(p + "events").store(prefix_.events.size());
+      reg.counter(p + "conditions").store(prefix_.conditions.size());
+      reg.counter(p + "cutoffs").store(prefix_.cutoff_count);
+      std::size_t prefix_bytes = 0;
+      for (const Event& e : prefix_.events)
+        prefix_bytes += sizeof(Event) + e.mark.memory_bytes() +
+                        (e.preset.capacity() + e.postset.capacity()) *
+                            sizeof(std::size_t);
+      prefix_bytes += prefix_.conditions.size() * sizeof(Condition);
+      reg.gauge("mem." + p + "prefix_bytes")
+          .set(static_cast<double>(prefix_bytes));
     }
     return std::move(prefix_);
   }
@@ -156,6 +178,7 @@ class Unfolder {
     ev.postset = outputs;
     bool cutoff = ev.cutoff;
     prefix_.events.push_back(std::move(ev));
+    if (live_events_ != nullptr) live_events_->add();
     if (cutoff) {
       ++prefix_.cutoff_count;
       return;
@@ -209,6 +232,8 @@ class Unfolder {
   std::priority_queue<Candidate, std::vector<Candidate>,
                       std::greater<Candidate>>
       queue_;
+  obs::Counter* live_events_ = nullptr;  // "progress.states"
+  obs::Gauge* live_queue_ = nullptr;     // "progress.frontier"
   std::set<std::pair<TransitionId, std::vector<std::size_t>>> known_;
 };
 

@@ -19,8 +19,10 @@
 #include <cstdint>
 #include <limits>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "petri/net.hpp"
 
 namespace gpo::unfold {
@@ -48,6 +50,11 @@ struct Event {
 struct UnfoldOptions {
   std::size_t max_events = 100'000;
   std::size_t max_conditions = 1'000'000;
+  /// Optional telemetry sink: each appended event bumps "progress.states"
+  /// (events are the unfolder's unit of work) and the final
+  /// events/conditions/cutoff counters are published under `metrics_prefix`.
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string metrics_prefix = "unfold.";
 };
 
 struct Prefix {

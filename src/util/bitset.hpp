@@ -173,6 +173,13 @@ class Bitset {
     return static_cast<std::size_t>(hash_value());
   }
 
+  /// Heap bytes owned by this bitset (the word payload; excludes sizeof the
+  /// object itself). The telemetry layer sums this over marking stores for
+  /// the "mem.*" gauges of the run report.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return words_.capacity() * sizeof(Word);
+  }
+
   /// Indices of all set bits, ascending.
   [[nodiscard]] std::vector<std::size_t> to_indices() const {
     std::vector<std::size_t> out;

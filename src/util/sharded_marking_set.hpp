@@ -93,6 +93,21 @@ class ShardedMarkingSet {
 
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
 
+  /// Approximate heap bytes held by the set: slot tables, entry chunks and
+  /// the marking payloads. Takes each shard lock in turn, so call it from
+  /// one thread (the telemetry publisher), not the insert hot path.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    std::size_t bytes = shards_.size() * sizeof(Shard);
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      bytes += s.slots.capacity() * sizeof(Slot);
+      bytes += s.chunks.size() * kChunkSize * sizeof(Entry);
+      for (std::uint64_t local = 0; local < s.count; ++local)
+        bytes += s.arena_at(local).marking.memory_bytes();
+    }
+    return bytes;
+  }
+
   /// Per-shard element counts (for occupancy statistics).
   [[nodiscard]] std::vector<std::size_t> shard_sizes() const {
     std::vector<std::size_t> out;

@@ -8,9 +8,12 @@ namespace gpo::util {
 
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_(Clock::now()), lap_(start_) {}
 
-  void restart() { start_ = Clock::now(); }
+  void restart() {
+    start_ = Clock::now();
+    lap_ = start_;
+  }
 
   /// Seconds elapsed since construction or the last restart().
   [[nodiscard]] double elapsed_seconds() const {
@@ -19,9 +22,22 @@ class Stopwatch {
 
   [[nodiscard]] double elapsed_ms() const { return elapsed_seconds() * 1e3; }
 
+  /// Seconds since the previous lap() (or construction/restart for the first
+  /// call), then resets the lap mark. The progress heartbeat uses this to
+  /// turn cumulative counters into per-interval rates.
+  [[nodiscard]] double lap() {
+    Clock::time_point now = Clock::now();
+    double s = std::chrono::duration<double>(now - lap_).count();
+    lap_ = now;
+    return s;
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
+  // Timing columns must never run backwards under NTP adjustments.
+  static_assert(Clock::is_steady, "Stopwatch requires a steady clock");
   Clock::time_point start_;
+  Clock::time_point lap_;
 };
 
 }  // namespace gpo::util

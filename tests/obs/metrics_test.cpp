@@ -1,0 +1,108 @@
+// Registry semantics: slot identity, kind checking, snapshot ordering, and
+// the compile-out flag for the per-event hot counters.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace gpo::obs {
+namespace {
+
+TEST(Counter, AddAndStore) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.store(7);
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(Gauge, SetAndSetMax) {
+  Gauge g;
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.set_max(2.0);  // lower: no change
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.set_max(9.0);
+  EXPECT_DOUBLE_EQ(g.value(), 9.0);
+  g.set(1.0);  // plain set may lower
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+}
+
+TEST(Timer, AccumulatesSamples) {
+  Timer t;
+  t.record_ns(500'000'000);
+  t.record_ns(250'000'000);
+  EXPECT_DOUBLE_EQ(t.seconds(), 0.75);
+  EXPECT_EQ(t.count(), 2u);
+}
+
+TEST(ScopedTimer, NullTimerIsNoop) {
+  { ScopedTimer st(nullptr); }  // must not crash
+  Timer t;
+  { ScopedTimer st(&t); }
+  EXPECT_EQ(t.count(), 1u);
+}
+
+TEST(MetricsRegistry, SlotReferencesAreStableAndIdempotent) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x.states");
+  // Force deque growth with many registrations.
+  for (int i = 0; i < 200; ++i)
+    reg.counter("x.c" + std::to_string(i)).add();
+  Counter& again = reg.counter("x.states");
+  EXPECT_EQ(&a, &again);
+  a.add(5);
+  EXPECT_EQ(reg.counter("x.states").value(), 5u);
+  EXPECT_EQ(reg.size(), 201u);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("name");
+  EXPECT_THROW(reg.gauge("name"), std::logic_error);
+  EXPECT_THROW(reg.timer("name"), std::logic_error);
+}
+
+TEST(MetricsRegistry, SnapshotFiltersByPrefixInRegistrationOrder) {
+  MetricsRegistry reg;
+  reg.counter("engine.full.states").add(10);
+  reg.gauge("engine.full.peak_frontier").set(4);
+  reg.counter("engine.por.states").add(6);
+  reg.timer("engine.full.seconds").record_ns(1'000'000'000);
+
+  auto snaps = reg.snapshot("engine.full.");
+  ASSERT_EQ(snaps.size(), 3u);
+  EXPECT_EQ(snaps[0].name, "engine.full.states");
+  EXPECT_EQ(snaps[0].kind, MetricKind::kCounter);
+  EXPECT_EQ(snaps[0].count, 10u);
+  EXPECT_EQ(snaps[1].name, "engine.full.peak_frontier");
+  EXPECT_DOUBLE_EQ(snaps[1].value, 4.0);
+  EXPECT_EQ(snaps[2].name, "engine.full.seconds");
+  EXPECT_DOUBLE_EQ(snaps[2].value, 1.0);
+
+  EXPECT_EQ(reg.snapshot().size(), 4u);
+  EXPECT_TRUE(reg.snapshot("nothing.").empty());
+}
+
+TEST(MetricsRegistry, ValueLookup) {
+  MetricsRegistry reg;
+  reg.counter("a").add(3);
+  reg.gauge("b").set(2.5);
+  EXPECT_EQ(reg.value("a"), 3.0);
+  EXPECT_EQ(reg.value("b"), 2.5);
+  EXPECT_FALSE(reg.value("missing").has_value());
+}
+
+TEST(HotCounters, FlagMatchesBuildConfiguration) {
+#if defined(GPO_OBS_NO_HOT_COUNTERS)
+  EXPECT_FALSE(kHotCountersEnabled);
+#else
+  EXPECT_TRUE(kHotCountersEnabled);
+#endif
+}
+
+}  // namespace
+}  // namespace gpo::obs

@@ -1,0 +1,102 @@
+// Span-tree nesting: RAII open/close, parent links, current_path, and the
+// phase_tree JSON the run report embeds.
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+namespace gpo::obs {
+namespace {
+
+TEST(Span, NullTracerIsNoop) {
+  Span s(nullptr, "anything");  // must not crash
+}
+
+TEST(Tracer, RecordsNestingAndClosesInOrder) {
+  Tracer tracer;
+  {
+    Span outer(&tracer, "outer");
+    EXPECT_EQ(tracer.current_path(), "outer");
+    {
+      Span inner(&tracer, "inner");
+      EXPECT_EQ(tracer.current_path(), "outer/inner");
+      auto open = tracer.records();
+      ASSERT_EQ(open.size(), 2u);
+      EXPECT_EQ(open[1].dur_us, -1);  // still open
+    }
+    Span sibling(&tracer, "sibling");
+    EXPECT_EQ(tracer.current_path(), "outer/sibling");
+  }
+  EXPECT_EQ(tracer.current_path(), "");
+
+  auto records = tracer.records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].name, "outer");
+  EXPECT_EQ(records[0].parent, 0u);
+  EXPECT_EQ(records[0].depth, 0u);
+  EXPECT_EQ(records[1].name, "inner");
+  EXPECT_EQ(records[1].parent, 1u);  // 1-based: child of "outer"
+  EXPECT_EQ(records[1].depth, 1u);
+  EXPECT_EQ(records[2].name, "sibling");
+  EXPECT_EQ(records[2].parent, 1u);
+  for (const auto& r : records) EXPECT_GE(r.dur_us, 0);
+  // A parent's span covers its children.
+  EXPECT_LE(records[0].start_us, records[1].start_us);
+  EXPECT_GE(records[0].start_us + records[0].dur_us,
+            records[2].start_us + records[2].dur_us);
+}
+
+TEST(PhaseTree, BuildsNestedJson) {
+  Tracer tracer;
+  {
+    Span a(&tracer, "parse");
+  }
+  {
+    Span b(&tracer, "engine/gpo");
+    Span c(&tracer, "reduced-search");
+  }
+  json::Value tree = phase_tree(tracer.records());
+  ASSERT_TRUE(tree.is_array());
+  ASSERT_EQ(tree.size(), 2u);
+  const json::Value& parse = tree.items()[0];
+  EXPECT_EQ(parse.find("name")->as_string(), "parse");
+  EXPECT_GE(parse.find("ms")->as_number(), 0.0);
+  EXPECT_EQ(parse.find("children")->size(), 0u);
+  const json::Value& engine = tree.items()[1];
+  EXPECT_EQ(engine.find("name")->as_string(), "engine/gpo");
+  ASSERT_EQ(engine.find("children")->size(), 1u);
+  EXPECT_EQ(engine.find("children")->items()[0].find("name")->as_string(),
+            "reduced-search");
+}
+
+TEST(PhaseTree, OpenSpanGetsMinusOne) {
+  Tracer tracer;
+  Span open(&tracer, "running");
+  json::Value tree = phase_tree(tracer.records());
+  ASSERT_EQ(tree.size(), 1u);
+  EXPECT_DOUBLE_EQ(tree.items()[0].find("ms")->as_number(), -1.0);
+}
+
+TEST(ChromeTrace, EmitsCompleteEvents) {
+  Tracer tracer;
+  {
+    Span a(&tracer, "phase-a");
+    Span b(&tracer, "phase-b");
+  }
+  std::ostringstream out;
+  write_chrome_trace(out, tracer.records());
+  json::Value doc = json::Value::parse(out.str());
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->size(), 2u);
+  const json::Value& e = events->items()[0];
+  EXPECT_EQ(e.find("name")->as_string(), "phase-a");
+  EXPECT_EQ(e.find("ph")->as_string(), "X");
+  EXPECT_GE(e.find("dur")->as_number(), 0.0);
+  EXPECT_EQ(doc.find("displayTimeUnit")->as_string(), "ms");
+}
+
+}  // namespace
+}  // namespace gpo::obs

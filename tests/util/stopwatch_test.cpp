@@ -1,0 +1,41 @@
+#include "util/stopwatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace gpo::util {
+namespace {
+
+TEST(Stopwatch, ElapsedIsMonotone) {
+  Stopwatch sw;
+  double a = sw.elapsed_seconds();
+  double b = sw.elapsed_seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  EXPECT_GE(sw.elapsed_ms(), b * 1e3);
+}
+
+TEST(Stopwatch, LapMeasuresIntervalsNotTotals) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double first = sw.lap();
+  EXPECT_GE(first, 0.015);  // at least most of the sleep
+  // An immediate second lap sees only the tiny interval since the first,
+  // not the cumulative elapsed time — this is what turns the heartbeat's
+  // cumulative state counter into a per-interval rate.
+  double second = sw.lap();
+  EXPECT_LT(second, first);
+  EXPECT_GE(sw.elapsed_seconds(), first);
+}
+
+TEST(Stopwatch, RestartResetsBothMarks) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  sw.restart();
+  EXPECT_LT(sw.elapsed_seconds(), 0.010);
+  EXPECT_LT(sw.lap(), 0.010);
+}
+
+}  // namespace
+}  // namespace gpo::util
