@@ -6,12 +6,14 @@
 // can be charted across PRs.
 //
 // Usage: bench_gpo_intern [--smoke] [--max-seconds S] [--out FILE]
-//                         [--report FILE]
-//   --smoke        small instances + tight budget (CI bench-smoke job)
-//   --max-seconds  per-engine wall-clock budget (default 60)
-//   --out          JSON output path (default BENCH_gpo.json)
-//   --report       also write the schema-stable run report shared with
-//                  `julie --report` (bench/report_schema.json)
+//                         [--report FILE] [--parallel-out FILE]
+//   --smoke         small instances + tight budget (CI bench-smoke job)
+//   --max-seconds   per-engine wall-clock budget (default 60)
+//   --out           JSON output path (default BENCH_gpo.json)
+//   --report        also write the schema-stable run report shared with
+//                   `julie --report` (bench/report_schema.json)
+//   --parallel-out  also sweep the work-stealing engine over 1/2/4/8 threads
+//                   and emit the scaling rows (BENCH_gpo_parallel.json)
 //
 // JSON schema (schema_version 1):
 //   { "schema_version": 1, "benchmark": "bench_gpo_intern", "smoke": bool,
@@ -20,13 +22,22 @@
 //                   "peak_families": int, "intern_calls": int,
 //                   "dedup_ratio": float, "op_cache_hit_rate": float,
 //                   "families_bytes": int, "verdicts_match": bool } ] }
-// Exit status: 0 on success, 1 on any seed/interned verdict mismatch.
+// Parallel sweep schema (schema_version 1):
+//   { "schema_version": 1, "benchmark": "bench_gpo_parallel", "smoke": bool,
+//     "host_cpus": int,
+//     "models": [ { "model": str, "threads": int, "states": int,
+//                   "wall_ms": float, "states_per_second": float,
+//                   "speedup_vs_1t": float, "steals": int,
+//                   "peak_frontier": int,
+//                   "verdict_matches_sequential": bool } ] }
+// Exit status: 0 on success, 1 on any verdict mismatch.
 #include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/gpo.hpp"
@@ -115,6 +126,90 @@ std::string json_number(double v) {
   return ss.str();
 }
 
+// -- thread-scaling sweep (--parallel-out) ----------------------------------
+
+struct ParallelRow {
+  std::string model;
+  std::size_t threads = 1;
+  std::size_t states = 0;
+  double wall_ms = 0;
+  double speedup_vs_1t = 1.0;
+  std::size_t steals = 0;
+  std::size_t peak_frontier = 0;
+  bool verdict_matches = true;
+};
+
+std::vector<ParallelRow> run_thread_sweep(const std::string& label,
+                                          const PetriNet& net, double budget,
+                                          bool& all_match) {
+  std::vector<ParallelRow> rows;
+  gpo::core::GpoResult base;
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    gpo::core::GpoOptions opt;
+    opt.max_seconds = budget;
+    opt.num_threads = threads;
+    gpo::util::Stopwatch timer;
+    auto r = gpo::core::run_gpo(net, gpo::core::FamilyKind::kInterned, opt);
+    ParallelRow row;
+    row.model = label;
+    row.threads = threads;
+    row.states = r.state_count;
+    row.wall_ms = timer.elapsed_seconds() * 1000.0;
+    row.steals = r.parallel.steal_count;
+    row.peak_frontier = r.parallel.peak_frontier;
+    if (threads == 1) {
+      base = r;
+    } else {
+      row.speedup_vs_1t =
+          row.wall_ms > 0 ? rows.front().wall_ms / row.wall_ms : 0.0;
+      row.verdict_matches = r.deadlock_found == base.deadlock_found &&
+                            r.state_count == base.state_count &&
+                            r.limit_hit == base.limit_hit;
+    }
+    all_match &= row.verdict_matches;
+    std::cout << std::left << std::setw(12) << row.model << std::right
+              << std::setw(4) << row.threads << "t" << std::setw(8)
+              << row.states << std::setw(12) << std::fixed
+              << std::setprecision(2) << row.wall_ms << std::setw(8)
+              << std::setprecision(2) << row.speedup_vs_1t << "x"
+              << std::setw(9) << row.steals << std::setw(10)
+              << row.peak_frontier
+              << (row.verdict_matches ? "" : "  VERDICT MISMATCH") << "\n";
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void write_parallel_json(std::ostream& out,
+                         const std::vector<ParallelRow>& rows, bool smoke) {
+  out << "{\n"
+      << "  \"schema_version\": 1,\n"
+      << "  \"benchmark\": \"bench_gpo_parallel\",\n"
+      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+      << "  \"host_cpus\": " << std::thread::hardware_concurrency() << ",\n"
+      << "  \"models\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ParallelRow& r = rows[i];
+    out << "    {\n"
+        << "      \"model\": \"" << r.model << "\",\n"
+        << "      \"threads\": " << r.threads << ",\n"
+        << "      \"states\": " << r.states << ",\n"
+        << "      \"wall_ms\": " << json_number(r.wall_ms) << ",\n"
+        << "      \"states_per_second\": "
+        << json_number(r.wall_ms > 0
+                           ? static_cast<double>(r.states) / (r.wall_ms / 1000.0)
+                           : 0.0)
+        << ",\n"
+        << "      \"speedup_vs_1t\": " << json_number(r.speedup_vs_1t) << ",\n"
+        << "      \"steals\": " << r.steals << ",\n"
+        << "      \"peak_frontier\": " << r.peak_frontier << ",\n"
+        << "      \"verdict_matches_sequential\": "
+        << (r.verdict_matches ? "true" : "false") << "\n"
+        << "    }" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
 void write_json(std::ostream& out, const std::vector<Row>& rows, bool smoke) {
   out << "{\n"
       << "  \"schema_version\": 1,\n"
@@ -150,6 +245,7 @@ int main(int argc, char** argv) {
   double budget = 60.0;
   std::string out_path = "BENCH_gpo.json";
   std::string report_path;
+  std::string parallel_out_path;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--smoke")) smoke = true;
     if (!std::strcmp(argv[i], "--max-seconds") && i + 1 < argc)
@@ -157,6 +253,8 @@ int main(int argc, char** argv) {
     if (!std::strcmp(argv[i], "--out") && i + 1 < argc) out_path = argv[++i];
     if (!std::strcmp(argv[i], "--report") && i + 1 < argc)
       report_path = argv[++i];
+    if (!std::strcmp(argv[i], "--parallel-out") && i + 1 < argc)
+      parallel_out_path = argv[++i];
   }
   if (smoke && budget > 5.0) budget = 5.0;
 
@@ -238,8 +336,28 @@ int main(int argc, char** argv) {
     report.write(rout, nullptr, nullptr);
     std::cout << "report written to " << report_path << "\n";
   }
+  if (!parallel_out_path.empty()) {
+    std::cout << "\nthread sweep (work-stealing gpo-intern):\n"
+              << std::left << std::setw(12) << "model" << std::right
+              << std::setw(5) << "thr" << std::setw(8) << "states"
+              << std::setw(12) << "wall-ms" << std::setw(9) << "vs-1t"
+              << std::setw(9) << "steals" << std::setw(10) << "peak-fr"
+              << "\n";
+    std::vector<ParallelRow> prows;
+    for (const Instance& inst : instances) {
+      auto r = run_thread_sweep(inst.label, inst.net, budget, all_match);
+      prows.insert(prows.end(), r.begin(), r.end());
+    }
+    std::ofstream pout(parallel_out_path);
+    if (!pout) {
+      std::cerr << "cannot write " << parallel_out_path << "\n";
+      return 1;
+    }
+    write_parallel_json(pout, prows, smoke);
+    std::cout << "JSON written to " << parallel_out_path << "\n";
+  }
   if (!all_match) {
-    std::cerr << "ERROR: seed/interned verdict mismatch\n";
+    std::cerr << "ERROR: verdict mismatch\n";
     return 1;
   }
   return 0;

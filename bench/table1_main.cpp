@@ -11,9 +11,13 @@
 // covered by bench/ablation_family).
 //
 // Usage: bench_table1 [--quick] [--max-seconds S] [--csv FILE] [--threads N]
-//                     [--report FILE]
+//                     [--gpo-threads N] [--report FILE]
 // --threads N runs the exhaustive "States" column on the parallel sharded
 // explorer with N workers (counts are identical to the sequential engine).
+// --gpo-threads N runs the "GPO" column on the work-stealing interned-family
+// engine with N workers (again count-identical; with N=1 the column switches
+// from the BDD family to the sequential interned engine so the comparison
+// stays within one representation).
 // --report FILE additionally writes the schema-stable JSON run report
 // (bench/report_schema.json) shared with `julie --report`.
 #include <cstring>
@@ -67,7 +71,8 @@ std::string fmt_time(const Cell& c) {
 }
 
 Row run_row(const std::string& name, const PetriNet& net, double budget,
-            std::size_t threads, gpo::obs::MetricsRegistry* reg) {
+            std::size_t threads, std::size_t gpo_threads,
+            gpo::obs::MetricsRegistry* reg) {
   // Each engine publishes its counters under its default prefix ("full.",
   // "por.", "bdd.", "gpo.") into the per-row registry for --report.
   Row row;
@@ -104,7 +109,12 @@ Row run_row(const std::string& name, const PetriNet& net, double budget,
     gpo::core::GpoOptions opt;
     opt.max_seconds = budget;
     opt.metrics = reg;
-    auto r = gpo::core::run_gpo(net, gpo::core::FamilyKind::kBdd, opt);
+    opt.num_threads = gpo_threads > 0 ? gpo_threads : 1;
+    // --gpo-threads selects the interned family (the parallel-capable
+    // representation); the default column stays on the BDD family.
+    auto kind = gpo_threads > 0 ? gpo::core::FamilyKind::kInterned
+                                : gpo::core::FamilyKind::kBdd;
+    auto r = gpo::core::run_gpo(net, kind, opt);
     row.gpo = {static_cast<double>(r.state_count), r.seconds, r.limit_hit,
                r.deadlock_found};
     row.gpo_delegated = r.delegated_states;
@@ -135,6 +145,7 @@ int main(int argc, char** argv) {
   double budget = 60.0;
   bool quick = false;
   std::size_t threads = 1;
+  std::size_t gpo_threads = 0;  // 0 = GPO column on the default BDD family
   std::string csv_path = "table1_results.csv";
   std::string report_path;
   for (int i = 1; i < argc; ++i) {
@@ -147,6 +158,10 @@ int main(int argc, char** argv) {
     if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       threads = std::stoul(argv[++i]);
       if (threads == 0) threads = 1;
+    }
+    if (!std::strcmp(argv[i], "--gpo-threads") && i + 1 < argc) {
+      gpo_threads = std::stoul(argv[++i]);
+      if (gpo_threads == 0) gpo_threads = 1;
     }
   }
 
@@ -200,6 +215,10 @@ int main(int argc, char** argv) {
   if (threads > 1)
     std::cout << "(exhaustive column: parallel explorer, " << threads
               << " threads)\n";
+  if (gpo_threads > 0)
+    std::cout << "(GPO column: work-stealing interned-family engine, "
+              << gpo_threads << " thread" << (gpo_threads > 1 ? "s" : "")
+              << ")\n";
   std::cout << "\n";
   std::cout << std::left << std::setw(10) << "Problem" << std::right
             << std::setw(10) << "States"                      //
@@ -217,7 +236,7 @@ int main(int argc, char** argv) {
     // A fresh registry per instance keeps the four engines' counters from
     // accumulating across rows.
     gpo::obs::MetricsRegistry reg;
-    Row row = run_row(inst.label, inst.net, budget, threads,
+    Row row = run_row(inst.label, inst.net, budget, threads, gpo_threads,
                       report_path.empty() ? nullptr : &reg);
     std::cout << std::left << std::setw(10) << row.problem << std::right
               << std::setw(10) << fmt_count(row.full)       //

@@ -13,6 +13,7 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "core/gpo.hpp"
 #include "mc/ctl.hpp"
 #include "models/models.hpp"
+#include "obs/diag.hpp"
 #include "obs/heartbeat.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -53,8 +55,10 @@ int usage(const char* argv0) {
       << "  --structure        siphon/trap and invariant analysis\n"
       << "  --max-states N     state cap for explicit engines\n"
       << "  --max-seconds S    wall-clock cap per engine\n"
-      << "  --threads N        worker threads for the exhaustive engine\n"
-      << "                     (default 1 = deterministic sequential search)\n"
+      << "  --threads N        worker threads; honored by the exhaustive\n"
+      << "                     engine (full) and the interned GPO engine\n"
+      << "                     (gpo-intern); verdicts and state counts do\n"
+      << "                     not depend on N (default 1 = sequential)\n"
       << "  --stats            print per-engine telemetry counters on stderr\n"
       << "                     (states/sec, peak frontier, steals, shard\n"
       << "                     occupancy, interner dedup, op-cache hit rate)\n"
@@ -165,22 +169,23 @@ void print_engine_stats(const gpo::obs::MetricsRegistry& reg,
                         const std::string& prefix) {
   auto snaps = reg.snapshot(prefix);
   if (snaps.empty()) return;
-  std::cerr << "  stats[" << engine << "]:";
+  std::ostringstream line;
+  line << "  stats[" << engine << "]:";
   for (const auto& s : snaps) {
-    std::cerr << ' ' << s.name.substr(prefix.size()) << '=';
+    line << ' ' << s.name.substr(prefix.size()) << '=';
     switch (s.kind) {
       case gpo::obs::MetricKind::kCounter:
-        std::cerr << s.count;
+        line << s.count;
         break;
       case gpo::obs::MetricKind::kGauge:
-        std::cerr << s.value;
+        line << s.value;
         break;
       case gpo::obs::MetricKind::kTimer:
-        std::cerr << s.value << 's';
+        line << s.value << 's';
         break;
     }
   }
-  std::cerr << "\n";
+  gpo::obs::diag_line(line.str());
 }
 
 void run_liveness(const PetriNet& net, std::size_t max_states,
@@ -490,7 +495,7 @@ int main(int argc, char** argv) {
         row = {e, static_cast<double>(r.state_count), 0, r.deadlock_found,
                r.limit_hit, r.interrupted_phase, r.seconds};
         if (r.safeness_violation)
-          std::cerr << "  WARNING: net is not 1-safe\n";
+          gpo::obs::diag_line("  WARNING: net is not 1-safe");
       } else if (e == "por") {
         gpo::por::StubbornOptions opt;
         opt.max_states = max_states;
@@ -529,6 +534,7 @@ int main(int argc, char** argv) {
         opt.metrics = reg;
         opt.metrics_prefix = prefix;
         opt.tracer = tr;
+        opt.num_threads = num_threads;  // parallel path: gpo-intern only
         auto kind = e == "gpo"       ? gpo::core::FamilyKind::kExplicit
                     : e == "gpo-bdd" ? gpo::core::FamilyKind::kBdd
                                      : gpo::core::FamilyKind::kInterned;

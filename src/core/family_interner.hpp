@@ -16,6 +16,22 @@
 // (see src/bdd/bdd.cpp), where they are the difference between exponential
 // and near-linear behaviour.
 //
+// Concurrency (PR 5): the interner is safe to share across the parallel GPN
+// engine's worker threads. The design keeps the sequential fast path intact:
+//   * The arena is insert-only and never moves an entry: a two-level radix of
+//     fixed-size chunks published with a release-CAS, so family(id)/hash_of(id)
+//     are lock-free loads and a FamilyId stays valid forever.
+//   * The unique table is striped: interning locks only the stripe the content
+//     hash routes to, so distinct families intern in parallel while equal
+//     families serialize (guaranteeing one id per canonical value).
+//   * The computed table is per-thread (registered on first use, found via a
+//     thread-local serial check), so the hot memoization path takes no lock
+//     and shares no cache lines between workers. stats() aggregates every
+//     thread's hit/miss counters; in the engine this happens at join time.
+// Single-threaded runs see exactly the old behaviour: ids are assigned densely
+// in intern order and the arena is byte-identical with the cache on or off
+// (the property test relies on this).
+//
 // InternedFamily is the third interchangeable family representation (next to
 // ExplicitFamily and BddFamily in set_family.hpp): a {interner, id} handle
 // satisfying the same compile-time interface, so GpnAnalyzer<InternedFamily>
@@ -23,9 +39,12 @@
 // {vector<FamilyId> marking, FamilyId r} — with no engine changes.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <unordered_set>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/gpo_result.hpp"
@@ -69,53 +88,93 @@ struct FamilyInternerStats {
 
 /// Arena-backed unique table of canonical ExplicitFamily values plus the
 /// memoized family operations. Non-copyable and non-movable: ids and the
-/// unique table's hasher refer back into the arena.
+/// per-thread caches refer back into the arena.
+///
+/// Thread-safety contract:
+///   * intern() and every operation (intersect/unite/subtract/containing,
+///     single/from_sets/...) may be called concurrently.
+///   * family(id)/hash_of(id) are lock-free; they are safe for an id the
+///     calling thread produced itself, or one received through a
+///     synchronizing channel from the producing thread (the parallel
+///     engine's work queues and thread join provide that happens-before).
+///   * size()/stats() are exact once the calling threads quiesce.
 class FamilyInterner {
  public:
   explicit FamilyInterner(std::size_t num_transitions,
                           std::size_t op_cache_entries = std::size_t{1} << 16)
       : num_transitions_(num_transitions),
         base_(num_transitions),
-        table_(16, IdHash{this}, IdEq{this}) {
+        serial_(next_serial()),
+        stripes_(kStripeCount),
+        dir_(std::make_unique<std::atomic<ArenaSlot*>[]>(kDirSize)) {
     // Round the computed-table size to a power of two for mask indexing.
     std::size_t entries = 1;
     while (entries < op_cache_entries) entries <<= 1;
-    op_cache_.resize(entries);
-    op_cache_mask_ = entries - 1;
-    (void)intern(base_.empty());  // pin kEmptyFamilyId == 0
+    op_cache_entries_ = entries;
+    // Pin kEmptyFamilyId == 0: the empty family lives at arena slot 0 and
+    // intern() short-circuits on emptiness, so it never hits the table.
+    ExplicitFamily e = base_.empty();
+    const std::size_t h = e.hash();
+    (void)allocate(std::move(e), h);
+    intern_calls_.store(1, std::memory_order_relaxed);
   }
 
   FamilyInterner(const FamilyInterner&) = delete;
   FamilyInterner& operator=(const FamilyInterner&) = delete;
 
+  ~FamilyInterner() {
+    for (std::size_t c = 0; c < kDirSize; ++c)
+      delete[] dir_[c].load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] std::size_t num_transitions() const { return num_transitions_; }
 
   /// Canonicalizes `f`: returns the id of the arena family equal to it,
   /// storing it first if it is new. The content hash is computed once here
-  /// and cached for the family's lifetime.
+  /// and cached for the family's lifetime. Thread-safe: equal families route
+  /// to the same stripe, whose mutex serializes the lookup-or-insert.
   FamilyId intern(ExplicitFamily f) {
-    ++stats_.intern_calls;
-    if (families_.size() > static_cast<std::size_t>(kInvalidFamilyId) - 1)
-      throw std::length_error("FamilyInterner: id space exhausted");
-    FamilyId cand = static_cast<FamilyId>(families_.size());
-    hashes_.push_back(f.hash());
-    families_.push_back(std::move(f));
-    auto [it, inserted] = table_.insert(cand);
-    if (!inserted) {  // already canonical: drop the duplicate
-      families_.pop_back();
-      hashes_.pop_back();
-      return *it;
+    intern_calls_.fetch_add(1, std::memory_order_relaxed);
+    if (f.is_empty()) return kEmptyFamilyId;
+    const std::size_t h = f.hash();
+    const std::uint64_t route = util::mix64(h);
+    Stripe& stripe = stripes_[route & (kStripeCount - 1)];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    if ((stripe.count + 1) * 4 > stripe.slots.size() * 3) stripe.grow();
+    const std::size_t mask = stripe.slots.size() - 1;
+    std::size_t i = (route >> kStripeBits) & mask;
+    while (true) {
+      TableSlot& slot = stripe.slots[i];
+      if (slot.id_plus_1 == 0) {
+        // New canonical family: allocate the next dense id, publish the
+        // payload into the arena *before* the table slot (both writes are
+        // ordered by this stripe's mutex for later equal-family lookups, and
+        // by the chunk's release-CAS + the caller's own synchronization for
+        // lock-free family(id) readers).
+        FamilyId id = allocate(std::move(f), h);
+        slot.hash = h;
+        slot.id_plus_1 = id + 1;
+        ++stripe.count;
+        return id;
+      }
+      if (slot.hash == h && family(slot.id_plus_1 - 1) == f)
+        return slot.id_plus_1 - 1;
+      i = (i + 1) & mask;
     }
-    stats_.families_bytes += families_.back().memory_bytes();
-    return cand;
   }
 
+  /// Lock-free arena read; see the thread-safety contract above.
   [[nodiscard]] const ExplicitFamily& family(FamilyId id) const {
-    return families_[id];
+    return slot_at(id).family;
   }
   /// The content hash cached at intern time.
-  [[nodiscard]] std::size_t hash_of(FamilyId id) const { return hashes_[id]; }
-  [[nodiscard]] std::size_t size() const { return families_.size(); }
+  [[nodiscard]] std::size_t hash_of(FamilyId id) const {
+    return slot_at(id).hash;
+  }
+  /// Families stored; exact once interning threads quiesce.
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>(next_id_.load(std::memory_order_acquire));
+  }
   [[nodiscard]] bool is_empty(FamilyId id) const {
     return id == kEmptyFamilyId;
   }
@@ -159,15 +218,33 @@ class FamilyInterner {
   /// ExplicitFamily algebra + intern(); because intern() canonicalizes, the
   /// resulting arena and id assignment are byte-identical either way — the
   /// property test relies on this.
-  void set_op_cache_enabled(bool enabled) { op_cache_enabled_ = enabled; }
-  [[nodiscard]] bool op_cache_enabled() const { return op_cache_enabled_; }
+  void set_op_cache_enabled(bool enabled) {
+    op_cache_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool op_cache_enabled() const {
+    return op_cache_enabled_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::size_t op_cache_entries() const {
-    return op_cache_.size();
+    return op_cache_entries_;
+  }
+  /// Computed tables currently registered (== threads that did memoized ops).
+  [[nodiscard]] std::size_t op_cache_thread_count() const {
+    std::lock_guard<std::mutex> lock(caches_mu_);
+    return caches_.size();
   }
 
+  /// Aggregated counters: arena totals plus every thread's cache hits and
+  /// misses. Exact once the operating threads quiesce (engine join time).
   [[nodiscard]] FamilyInternerStats stats() const {
-    FamilyInternerStats s = stats_;
-    s.distinct_families = families_.size();
+    FamilyInternerStats s;
+    s.distinct_families = size();
+    s.intern_calls = intern_calls_.load(std::memory_order_relaxed);
+    s.families_bytes = families_bytes_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(caches_mu_);
+    for (const ThreadCache& tc : caches_) {
+      s.op_cache_hits += tc.cache->hits.load(std::memory_order_relaxed);
+      s.op_cache_misses += tc.cache->misses.load(std::memory_order_relaxed);
+    }
     return s;
   }
 
@@ -189,53 +266,178 @@ class FamilyInterner {
     std::uint8_t op = 0;
   };
 
-  FamilyId cached_apply(Op op, FamilyId a, FamilyId b) {
-    std::size_t slot = 0;
-    if (op_cache_enabled_) {
-      slot = static_cast<std::size_t>(
-                 util::mix64((std::uint64_t{a} << 34) ^
-                             (std::uint64_t{op} << 32) ^ std::uint64_t{b})) &
-             op_cache_mask_;
-      const CacheEntry& e = op_cache_[slot];
-      if (e.a == a && e.b == b && e.op == op) {
-        ++stats_.op_cache_hits;
-        return e.result;
-      }
-      ++stats_.op_cache_misses;
-    }
-    const ExplicitFamily& fa = families_[a];
-    ExplicitFamily r = op == kOpIntersect ? fa.intersect(families_[b])
-                       : op == kOpUnite   ? fa.unite(families_[b])
-                       : op == kOpSubtract
-                           ? fa.subtract(families_[b])
-                           : fa.containing(static_cast<petri::TransitionId>(b));
-    FamilyId id = intern(std::move(r));
-    if (op_cache_enabled_) op_cache_[slot] = {a, b, id, op};
+  /// Per-thread computed table. Slots are touched only by the owning thread;
+  /// the hit/miss tallies are relaxed atomics so stats() may read them while
+  /// the owner still runs.
+  struct OpCache {
+    explicit OpCache(std::size_t entries) : slots(entries) {}
+    std::vector<CacheEntry> slots;
+    std::atomic<std::size_t> hits{0};
+    std::atomic<std::size_t> misses{0};
+  };
+
+  struct ThreadCache {
+    std::thread::id tid;
+    std::unique_ptr<OpCache> cache;
+  };
+
+  // -- arena: two-level radix of never-moving chunks ------------------------
+
+  struct ArenaSlot {
+    ExplicitFamily family;
+    std::size_t hash = 0;
+  };
+
+  static constexpr std::size_t kChunkBits = 12;  // 4096 families per chunk
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
+  static constexpr std::size_t kDirSize = std::size_t{1} << 16;
+  // kDirSize * kChunkSize = 2^28 ids — far above kInvalidFamilyId concerns
+  // for real nets; exceeding it throws below.
+
+  [[nodiscard]] const ArenaSlot& slot_at(FamilyId id) const {
+    const ArenaSlot* chunk =
+        dir_[id >> kChunkBits].load(std::memory_order_acquire);
+    return chunk[id & (kChunkSize - 1)];
+  }
+
+  [[nodiscard]] ArenaSlot* chunk_for(std::size_t c) {
+    ArenaSlot* chunk = dir_[c].load(std::memory_order_acquire);
+    if (chunk != nullptr) return chunk;
+    ArenaSlot* fresh = new ArenaSlot[kChunkSize];
+    ArenaSlot* expected = nullptr;
+    if (dir_[c].compare_exchange_strong(expected, fresh,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire))
+      return fresh;
+    delete[] fresh;  // another thread published first
+    return expected;
+  }
+
+  /// Stores `f` at the next dense id. Caller must guarantee uniqueness
+  /// (the stripe lock does, for everything but the pinned empty family).
+  FamilyId allocate(ExplicitFamily f, std::size_t h) {
+    const std::uint64_t raw = next_id_.load(std::memory_order_relaxed);
+    if (raw >= kDirSize * kChunkSize || raw >= kInvalidFamilyId)
+      throw std::length_error("FamilyInterner: id space exhausted");
+    const FamilyId id = static_cast<FamilyId>(
+        next_id_alloc_.fetch_add(1, std::memory_order_relaxed));
+    families_bytes_.fetch_add(f.memory_bytes(), std::memory_order_relaxed);
+    ArenaSlot* chunk = chunk_for(id >> kChunkBits);
+    ArenaSlot& slot = chunk[id & (kChunkSize - 1)];
+    slot.family = std::move(f);
+    slot.hash = h;
+    // size() counts only fully published families: bump the visible bound
+    // once our predecessor ids are all published.
+    std::uint64_t expected = id;
+    while (!next_id_.compare_exchange_weak(expected, id + 1,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed))
+      expected = id;
     return id;
   }
 
-  /// Unique-table hash/equality look through the id into the arena; the
-  /// hash is the one cached at intern time, never recomputed.
-  struct IdHash {
-    const FamilyInterner* self;
-    std::size_t operator()(FamilyId id) const { return self->hashes_[id]; }
+  // -- striped unique table -------------------------------------------------
+
+  static constexpr std::size_t kStripeCount = 64;  // power of two
+  static constexpr unsigned kStripeBits = 6;
+
+  struct TableSlot {
+    std::size_t hash = 0;
+    std::uint64_t id_plus_1 = 0;  // 0 = empty
   };
-  struct IdEq {
-    const FamilyInterner* self;
-    bool operator()(FamilyId x, FamilyId y) const {
-      return self->families_[x] == self->families_[y];
+
+  struct Stripe {
+    std::mutex mu;
+    std::vector<TableSlot> slots = std::vector<TableSlot>(64);
+    std::size_t count = 0;
+
+    void grow() {
+      std::vector<TableSlot> bigger(slots.size() * 2);
+      const std::size_t mask = bigger.size() - 1;
+      for (const TableSlot& s : slots) {
+        if (s.id_plus_1 == 0) continue;
+        std::size_t i = (util::mix64(s.hash) >> kStripeBits) & mask;
+        while (bigger[i].id_plus_1 != 0) i = (i + 1) & mask;
+        bigger[i] = s;
+      }
+      slots = std::move(bigger);
     }
   };
 
+  // -- per-thread computed tables -------------------------------------------
+
+  static std::uint64_t next_serial() {
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// The calling thread's computed table for *this* interner. A single
+  /// thread-local slot caches the last (interner serial -> table) pairing,
+  /// so the steady state — one interner per analysis — costs one integer
+  /// compare; switching interners re-resolves through the registry mutex.
+  OpCache& local_cache() {
+    struct Tls {
+      std::uint64_t serial = 0;
+      OpCache* cache = nullptr;
+    };
+    static thread_local Tls tls;
+    if (tls.serial != serial_) {
+      tls.cache = register_thread_cache();
+      tls.serial = serial_;
+    }
+    return *tls.cache;
+  }
+
+  OpCache* register_thread_cache() {
+    const std::thread::id me = std::this_thread::get_id();
+    std::lock_guard<std::mutex> lock(caches_mu_);
+    for (const ThreadCache& tc : caches_)
+      if (tc.tid == me) return tc.cache.get();
+    caches_.push_back({me, std::make_unique<OpCache>(op_cache_entries_)});
+    return caches_.back().cache.get();
+  }
+
+  FamilyId cached_apply(Op op, FamilyId a, FamilyId b) {
+    OpCache* cache = op_cache_enabled() ? &local_cache() : nullptr;
+    std::size_t slot = 0;
+    if (cache != nullptr) {
+      slot = static_cast<std::size_t>(
+                 util::mix64((std::uint64_t{a} << 34) ^
+                             (std::uint64_t{op} << 32) ^ std::uint64_t{b})) &
+             (op_cache_entries_ - 1);
+      const CacheEntry& e = cache->slots[slot];
+      if (e.a == a && e.b == b && e.op == op) {
+        cache->hits.fetch_add(1, std::memory_order_relaxed);
+        return e.result;
+      }
+      cache->misses.fetch_add(1, std::memory_order_relaxed);
+    }
+    const ExplicitFamily& fa = family(a);
+    ExplicitFamily r = op == kOpIntersect ? fa.intersect(family(b))
+                       : op == kOpUnite   ? fa.unite(family(b))
+                       : op == kOpSubtract
+                           ? fa.subtract(family(b))
+                           : fa.containing(static_cast<petri::TransitionId>(b));
+    FamilyId id = intern(std::move(r));
+    if (cache != nullptr) cache->slots[slot] = {a, b, id, op};
+    return id;
+  }
+
   std::size_t num_transitions_;
   ExplicitFamily::Context base_;
-  std::vector<ExplicitFamily> families_;  // arena; FamilyId indexes it
-  std::vector<std::size_t> hashes_;       // content hash per arena family
-  std::unordered_set<FamilyId, IdHash, IdEq> table_;
-  std::vector<CacheEntry> op_cache_;
-  std::size_t op_cache_mask_ = 0;
-  bool op_cache_enabled_ = true;
-  FamilyInternerStats stats_;
+  std::uint64_t serial_;  // unique per interner instance, for the TLS lookup
+  std::size_t op_cache_entries_ = 0;
+
+  std::vector<Stripe> stripes_;
+  std::unique_ptr<std::atomic<ArenaSlot*>[]> dir_;
+  std::atomic<std::uint64_t> next_id_alloc_{0};  // ids handed out
+  std::atomic<std::uint64_t> next_id_{0};        // ids fully published
+
+  mutable std::mutex caches_mu_;
+  std::vector<ThreadCache> caches_;
+  std::atomic<bool> op_cache_enabled_{true};
+  std::atomic<std::size_t> intern_calls_{0};
+  std::atomic<std::size_t> families_bytes_{0};
 };
 
 // ---------------------------------------------------------------------------
@@ -295,6 +497,10 @@ class InternedFamily {
    private:
     std::unique_ptr<FamilyInterner> interner_;
   };
+
+  /// Detached handle (no interner): only valid as a placeholder, e.g. in
+  /// default-constructed GpnStates inside arena chunks.
+  InternedFamily() = default;
 
   [[nodiscard]] InternedFamily intersect(const InternedFamily& o) const {
     return with(interner_->intersect(id_, o.id_));

@@ -22,11 +22,17 @@
 //      one exists, is expanded transition-by-transition (the classical
 //      partial-order reduction), else every single-enabled transition is.
 //
-// The template parameter selects the family representation (ExplicitFamily
-// or BddFamily from set_family.hpp); see DESIGN.md decision 2.
+// The template parameter selects the family representation (ExplicitFamily,
+// BddFamily or InternedFamily); see DESIGN.md decision 2. All semantic
+// methods (s_enabled/m_update/plan_expansion/...) are const and — given a
+// thread-safe family context, like the concurrent FamilyInterner — callable
+// from multiple threads at once; the parallel engine
+// (parallel_gpn_analyzer.hpp) relies on this, plus the shared helpers
+// replay_scenario / run_delegated / apply_ignoring_guard below.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
@@ -44,19 +50,63 @@
 namespace gpo::core {
 
 /// A GPN state <m, r>: one family per place plus the valid-set family.
+/// The content hash folds every place family, so it is memoized: computed at
+/// most once per finished state (visited-set probes hash each successor
+/// several times). Copying resets the memo — the engines copy-then-mutate
+/// (s_update) — while moving keeps it; 0 doubles as the "unset" sentinel.
 template <typename Family>
 struct GpnState {
   std::vector<Family> marking;
   Family r;
 
+  GpnState() = default;
+  GpnState(std::vector<Family> m, Family valid)
+      : marking(std::move(m)), r(std::move(valid)) {}
+
+  GpnState(const GpnState& o) : marking(o.marking), r(o.r) {}
+  GpnState(GpnState&& o) noexcept
+      : marking(std::move(o.marking)),
+        r(std::move(o.r)),
+        memo_hash_(o.memo_hash_.load(std::memory_order_relaxed)) {}
+  GpnState& operator=(const GpnState& o) {
+    marking = o.marking;
+    r = o.r;
+    memo_hash_.store(0, std::memory_order_relaxed);
+    return *this;
+  }
+  GpnState& operator=(GpnState&& o) noexcept {
+    marking = std::move(o.marking);
+    r = std::move(o.r);
+    memo_hash_.store(o.memo_hash_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    return *this;
+  }
+
   bool operator==(const GpnState& o) const {
     return r == o.r && marking == o.marking;
   }
+
   [[nodiscard]] std::size_t hash() const {
+    std::size_t h = memo_hash_.load(std::memory_order_relaxed);
+    if (h != 0) return h;
+    h = uncached_hash();
+    if (h == 0) h = 1;  // 0 is the "unset" sentinel
+    memo_hash_.store(h, std::memory_order_relaxed);
+    return h;
+  }
+
+  /// The full fold, never memoized; hash() equals this (modulo the 1-in-2^64
+  /// zero remap). The regression test compares the two.
+  [[nodiscard]] std::size_t uncached_hash() const {
     std::size_t h = r.hash();
     for (const Family& f : marking) util::hash_combine(h, f.hash());
     return h;
   }
+
+ private:
+  // atomic so concurrent hash() calls on a shared finished state are clean:
+  // racing writers store the identical value.
+  mutable std::atomic<std::size_t> memo_hash_{0};
 };
 
 template <typename Family>
@@ -98,18 +148,25 @@ class GpnAnalyzer {
   }
 
   /// Definition 3.3 (single firing rule): moves the common histories of t's
-  /// input places to its output places; r is unchanged.
+  /// input places to its output places; r is unchanged. The successor marking
+  /// is built place-by-place (reserve + one push_back each) so untouched
+  /// places cost one Family copy and touched ones none.
   [[nodiscard]] State s_update(const State& s, petri::TransitionId t) const {
     Family moved = s_enabled(t, s);
-    State next = s;
     const auto& tr = net_.transition(t);
-    for (petri::PlaceId p : tr.pre)
-      if (!tr.post_bits.test(p))
-        next.marking[p] = next.marking[p].subtract(moved);
-    for (petri::PlaceId p : tr.post)
-      if (!tr.pre_bits.test(p))
-        next.marking[p] = next.marking[p].unite(moved);
-    return next;
+    std::vector<Family> marking;
+    marking.reserve(s.marking.size());
+    for (petri::PlaceId p = 0; p < net_.place_count(); ++p) {
+      const bool in_pre = tr.pre_bits.test(p);
+      const bool in_post = tr.post_bits.test(p);
+      if (in_pre && !in_post)
+        marking.push_back(s.marking[p].subtract(moved));
+      else if (in_post && !in_pre)
+        marking.push_back(s.marking[p].unite(moved));
+      else
+        marking.push_back(s.marking[p]);
+    }
+    return State(std::move(marking), s.r);
   }
 
   /// Definition 3.6 (multiple firing rule): fires every transition of T'
@@ -140,8 +197,8 @@ class GpnAnalyzer {
       r_next =
           r_next.unite(in_fired.test(t) ? me[me_index[t]] : s_enabled(t, s));
 
-    State next{std::vector<Family>(), r_next};
-    next.marking.reserve(net_.place_count());
+    std::vector<Family> marking;
+    marking.reserve(net_.place_count());
     for (petri::PlaceId p = 0; p < net_.place_count(); ++p) {
       Family removed = ctx_.empty();
       Family added = ctx_.empty();
@@ -158,12 +215,16 @@ class GpnAnalyzer {
           produced = true;
         }
       }
-      Family m = s.marking[p];
-      if (consumed) m = m.subtract(removed);
-      if (produced) m = m.unite(added);
-      next.marking.push_back(m.intersect(r_next));
+      if (!consumed && !produced) {
+        marking.push_back(s.marking[p].intersect(r_next));
+      } else {
+        Family m = consumed ? s.marking[p].subtract(removed)
+                            : s.marking[p].unite(added);
+        if (consumed && produced) m = m.unite(added);
+        marking.push_back(m.intersect(r_next));
+      }
     }
-    return next;
+    return State(std::move(marking), std::move(r_next));
   }
 
   /// mapping(<m,r>) (Definition 3.4): the classical markings represented by
@@ -236,6 +297,184 @@ class GpnAnalyzer {
     for (petri::TransitionId t = 0; t < net_.transition_count(); ++t)
       if (!s_enabled(t, s).is_empty()) out.push_back(t);
     return out;
+  }
+
+  // -- Shared machinery (used by explore() and the parallel engine) --------
+
+  /// One discovery edge of the reduced graph, root side first.
+  struct ReplayStep {
+    const State* from = nullptr;
+    bool multiple = false;
+    std::vector<petri::TransitionId> fired;
+  };
+
+  /// Classical firing sequence leading scenario v along the discovery path
+  /// `steps` (root..leaf): keep at every step the transitions whose moved
+  /// family contained v, and order each step's batch by classical simulation
+  /// (the batch members are pairwise independent under v). Returns the empty
+  /// sequence if the batch ever wedges (bug guard).
+  [[nodiscard]] std::vector<petri::TransitionId> replay_scenario(
+      const std::vector<ReplayStep>& steps, const TransitionSet& v) const {
+    std::vector<petri::TransitionId> trace;
+    petri::Marking m = net_.initial_marking();
+    for (const ReplayStep& step : steps) {
+      std::vector<petri::TransitionId> batch;
+      for (petri::TransitionId t : step.fired) {
+        Family moved =
+            step.multiple ? m_enabled(t, *step.from) : s_enabled(t, *step.from);
+        if (moved.contains(v)) batch.push_back(t);
+      }
+      while (!batch.empty()) {
+        bool progressed = false;
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          if (!net_.enabled(batch[i], m)) continue;
+          m = net_.fire(batch[i], m);
+          trace.push_back(batch[i]);
+          batch.erase(batch.begin() + static_cast<std::ptrdiff_t>(i));
+          progressed = true;
+          break;
+        }
+        if (!progressed) return {};  // bug guard
+      }
+    }
+    return trace;
+  }
+
+  /// Delegated classical stubborn-set deadlock search from `roots`, merging
+  /// its verdict into `result`. Used for the fragmentation bail-out (roots =
+  /// {m0}, merge_fireable = true) and the anti-ignoring guard (roots = the
+  /// starving states' mapped markings).
+  void run_delegated(const std::vector<petri::Marking>& roots,
+                     double remaining_seconds, const char* phase,
+                     bool merge_fireable, GpoResult& result) const {
+    por::StubbornOptions sopt;
+    sopt.max_states = options_.max_states;
+    sopt.max_seconds = remaining_seconds;
+    sopt.stop_at_first_deadlock = true;
+    sopt.metrics = options_.metrics;
+    sopt.metrics_prefix = options_.metrics_prefix + "delegated.";
+    if (options_.required_witness_place) {
+      petri::PlaceId rp = *options_.required_witness_place;
+      sopt.deadlock_filter = [rp](const petri::Marking& m) {
+        return m.test(rp);
+      };
+    }
+    auto delegated = por::StubbornExplorer(net_, sopt).explore_from(roots);
+    result.delegated_states = delegated.state_count;
+    result.limit_hit |= delegated.limit_hit;
+    if (delegated.limit_hit) result.interrupted_phase = phase;
+    if (merge_fireable)
+      result.fireable_transitions |= delegated.fireable_transitions;
+    if (delegated.deadlock_found && !result.deadlock_found) {
+      result.deadlock_found = true;
+      result.deadlock_witness = delegated.first_deadlock;
+      result.witness_is_dead = true;
+    }
+  }
+
+  /// One edge of the reduced graph, for the anti-ignoring guard.
+  struct ReducedEdge {
+    std::size_t from, to;
+    util::Bitset fired;
+  };
+
+  /// Anti-ignoring guard (the check the paper's footnote elides): in every
+  /// SCC that contains a cycle, a transition single-enabled at one of its
+  /// states but fired on none of its internal edges may be postponed forever.
+  /// The scenarios behind such a transition are beyond the one-choice-per-
+  /// conflict expressiveness of a valid set (a *re-contested* conflict), so
+  /// instead of fragmenting the GPN state space with single firings we
+  /// delegate: run a classical stubborn-set deadlock search from the
+  /// starving states' mapped markings. That search is bounded by the plain
+  /// reachability graph and completes the deadlock verdict soundly.
+  ///
+  /// Inputs are dense arrays over the reduced graph's state indices; both
+  /// engines build them after their search quiesces (the parallel engine via
+  /// ShardedStateSet::for_each), so this runs single-threaded either way.
+  void apply_ignoring_guard(const std::vector<const State*>& states,
+                            const std::vector<ReducedEdge>& edges,
+                            const std::vector<util::Bitset>& enabled_at,
+                            const std::vector<bool>& fully_expanded,
+                            double remaining_seconds, GpoResult& result) const {
+    const std::size_t nt = net_.transition_count();
+    // Tarjan over the reduced graph.
+    std::vector<std::vector<std::size_t>> succs(states.size());
+    for (std::size_t e = 0; e < edges.size(); ++e)
+      succs[edges[e].from].push_back(e);
+
+    std::vector<std::size_t> comp(states.size(), SIZE_MAX);
+    std::vector<std::size_t> low(states.size()), num(states.size(), SIZE_MAX);
+    std::vector<bool> on_stack(states.size(), false);
+    std::vector<std::size_t> stack;
+    std::size_t counter = 0, comp_count = 0;
+    // Iterative Tarjan (explicit frames) to survive deep graphs.
+    struct Frame {
+      std::size_t v;
+      std::size_t next_edge;
+    };
+    for (std::size_t root = 0; root < states.size(); ++root) {
+      if (num[root] != SIZE_MAX) continue;
+      std::vector<Frame> call{{root, 0}};
+      num[root] = low[root] = counter++;
+      stack.push_back(root);
+      on_stack[root] = true;
+      while (!call.empty()) {
+        Frame& f = call.back();
+        if (f.next_edge < succs[f.v].size()) {
+          std::size_t w = edges[succs[f.v][f.next_edge++]].to;
+          if (num[w] == SIZE_MAX) {
+            num[w] = low[w] = counter++;
+            stack.push_back(w);
+            on_stack[w] = true;
+            call.push_back({w, 0});
+          } else if (on_stack[w]) {
+            low[f.v] = std::min(low[f.v], num[w]);
+          }
+        } else {
+          if (low[f.v] == num[f.v]) {
+            while (true) {
+              std::size_t w = stack.back();
+              stack.pop_back();
+              on_stack[w] = false;
+              comp[w] = comp_count;
+              if (w == f.v) break;
+            }
+            ++comp_count;
+          }
+          std::size_t v = f.v;
+          call.pop_back();
+          if (!call.empty())
+            low[call.back().v] = std::min(low[call.back().v], low[v]);
+        }
+      }
+    }
+
+    // Fired transitions per SCC (internal edges only) + cyclicity.
+    std::vector<util::Bitset> fired_in(comp_count, util::Bitset(nt));
+    std::vector<bool> cyclic(comp_count, false);
+    for (const ReducedEdge& e : edges)
+      if (comp[e.from] == comp[e.to]) {
+        fired_in[comp[e.from]] |= e.fired;
+        cyclic[comp[e.from]] = true;  // internal edge => cycle (SCC property)
+      }
+
+    // Collect the classical markings of every starving state and hand them
+    // to one shared stubborn-set search.
+    std::vector<petri::Marking> roots;
+    for (std::size_t v = 0; v < states.size(); ++v) {
+      std::size_t c = comp[v];
+      if (!cyclic[c] || fully_expanded[v]) continue;
+      util::Bitset starving = enabled_at[v] - fired_in[c];
+      if (starving.none()) continue;
+      ++result.ignoring_expansions;
+      for (petri::Marking& m : mapping(*states[v])) {
+        if (std::find(roots.begin(), roots.end(), m) == roots.end())
+          roots.push_back(std::move(m));
+      }
+    }
+    if (!roots.empty())
+      run_delegated(roots, remaining_seconds, "ignoring-guard",
+                    /*merge_fireable=*/false, result);
   }
 
   [[nodiscard]] GpoResult explore() const;
@@ -388,11 +627,7 @@ GpoResult GpnAnalyzer<Family>::explore() const {
   // fired, and whether a state has already been fully expanded.
   std::vector<util::Bitset> enabled_at;
   std::vector<bool> fully_expanded;
-  struct Edge {
-    std::size_t from, to;
-    util::Bitset fired;
-  };
-  std::vector<Edge> edges;
+  std::vector<ReducedEdge> edges;
   // Discovery breadcrumbs for counterexample reconstruction.
   struct Breadcrumb {
     std::size_t parent = 0;
@@ -415,40 +650,19 @@ GpoResult GpnAnalyzer<Family>::explore() const {
   };
 
   // Classical firing sequence leading scenario v into GPN state `leaf`:
-  // walk the discovery path, keep at every step the transitions whose
-  // moved family contained v, and order each step's batch by classical
-  // simulation (the batch members are pairwise independent under v).
+  // flatten the discovery path and hand it to the shared replayer.
   auto reconstruct = [&](std::size_t leaf, const TransitionSet& v) {
     std::vector<std::size_t> path;  // state indices root..leaf
     for (std::size_t i = leaf; i != 0; i = breadcrumbs[i].parent)
       path.push_back(i);
     std::reverse(path.begin(), path.end());
-
-    std::vector<petri::TransitionId> trace;
-    petri::Marking m = net_.initial_marking();
+    std::vector<ReplayStep> steps;
+    steps.reserve(path.size());
     for (std::size_t child : path) {
       const Breadcrumb& bc = breadcrumbs[child];
-      const State& from = states[bc.parent];
-      std::vector<petri::TransitionId> batch;
-      for (petri::TransitionId t : bc.fired) {
-        Family moved = bc.multiple ? m_enabled(t, from) : s_enabled(t, from);
-        if (moved.contains(v)) batch.push_back(t);
-      }
-      // Fire the batch in any classically enabled order.
-      while (!batch.empty()) {
-        bool progressed = false;
-        for (std::size_t i = 0; i < batch.size(); ++i) {
-          if (!net_.enabled(batch[i], m)) continue;
-          m = net_.fire(batch[i], m);
-          trace.push_back(batch[i]);
-          batch.erase(batch.begin() + static_cast<std::ptrdiff_t>(i));
-          progressed = true;
-          break;
-        }
-        if (!progressed) return std::vector<petri::TransitionId>{};  // bug guard
-      }
+      steps.push_back({&states[bc.parent], bc.multiple, bc.fired});
     }
-    return trace;
+    return replay_scenario(steps, v);
   };
 
   std::deque<std::size_t> frontier;
@@ -560,143 +774,20 @@ GpoResult GpnAnalyzer<Family>::explore() const {
   // marking (complete for deadlock detection on its own).
   if (result.bailed_to_classical && !stopped) {
     obs::Span span(options_.tracer, "delegated-search");
-    por::StubbornOptions sopt;
-    sopt.max_states = options_.max_states;
-    sopt.max_seconds = options_.max_seconds - timer.elapsed_seconds();
-    sopt.stop_at_first_deadlock = true;
-    sopt.metrics = options_.metrics;
-    sopt.metrics_prefix = options_.metrics_prefix + "delegated.";
-    if (options_.required_witness_place) {
-      petri::PlaceId rp = *options_.required_witness_place;
-      sopt.deadlock_filter = [rp](const petri::Marking& m) {
-        return m.test(rp);
-      };
-    }
-    auto delegated =
-        por::StubbornExplorer(net_, sopt).explore_from({net_.initial_marking()});
-    result.delegated_states = delegated.state_count;
-    result.limit_hit |= delegated.limit_hit;
-    if (delegated.limit_hit) result.interrupted_phase = "delegated-search";
-    result.fireable_transitions |= delegated.fireable_transitions;
-    if (delegated.deadlock_found && !result.deadlock_found) {
-      result.deadlock_found = true;
-      result.deadlock_witness = delegated.first_deadlock;
-      result.witness_is_dead = true;
-    }
+    run_delegated({net_.initial_marking()},
+                  options_.max_seconds - timer.elapsed_seconds(),
+                  "delegated-search", /*merge_fireable=*/true, result);
   }
 
-  // Anti-ignoring guard (the check the paper's footnote elides): in every
-  // SCC that contains a cycle, a transition single-enabled at one of its
-  // states but fired on none of its internal edges may be postponed forever.
-  // The scenarios behind such a transition are beyond the one-choice-per-
-  // conflict expressiveness of a valid set (a *re-contested* conflict), so
-  // instead of fragmenting the GPN state space with single firings we
-  // delegate: run a classical stubborn-set deadlock search from the
-  // starving states' mapped markings. That search is bounded by the plain
-  // reachability graph and completes the deadlock verdict soundly.
   if (options_.ignoring_guard && !stopped && !result.limit_hit &&
       !result.bailed_to_classical) {
     obs::Span span(options_.tracer, "ignoring-guard");
-    // Tarjan over the current reduced graph.
-    std::vector<std::vector<std::size_t>> succs(states.size());
-    for (std::size_t e = 0; e < edges.size(); ++e)
-      succs[edges[e].from].push_back(e);
-
-    std::vector<std::size_t> comp(states.size(), SIZE_MAX);
-    std::vector<std::size_t> low(states.size()), num(states.size(), SIZE_MAX);
-    std::vector<bool> on_stack(states.size(), false);
-    std::vector<std::size_t> stack;
-    std::size_t counter = 0, comp_count = 0;
-    // Iterative Tarjan (explicit frames) to survive deep graphs.
-    struct Frame {
-      std::size_t v;
-      std::size_t next_edge;
-    };
-    for (std::size_t root = 0; root < states.size(); ++root) {
-      if (num[root] != SIZE_MAX) continue;
-      std::vector<Frame> call{{root, 0}};
-      num[root] = low[root] = counter++;
-      stack.push_back(root);
-      on_stack[root] = true;
-      while (!call.empty()) {
-        Frame& f = call.back();
-        if (f.next_edge < succs[f.v].size()) {
-          std::size_t w = edges[succs[f.v][f.next_edge++]].to;
-          if (num[w] == SIZE_MAX) {
-            num[w] = low[w] = counter++;
-            stack.push_back(w);
-            on_stack[w] = true;
-            call.push_back({w, 0});
-          } else if (on_stack[w]) {
-            low[f.v] = std::min(low[f.v], num[w]);
-          }
-        } else {
-          if (low[f.v] == num[f.v]) {
-            while (true) {
-              std::size_t w = stack.back();
-              stack.pop_back();
-              on_stack[w] = false;
-              comp[w] = comp_count;
-              if (w == f.v) break;
-            }
-            ++comp_count;
-          }
-          std::size_t v = f.v;
-          call.pop_back();
-          if (!call.empty())
-            low[call.back().v] = std::min(low[call.back().v], low[v]);
-        }
-      }
-    }
-
-    // Fired transitions per SCC (internal edges only) + cyclicity.
-    std::vector<util::Bitset> fired_in(comp_count, util::Bitset(nt));
-    std::vector<bool> cyclic(comp_count, false);
-    std::vector<std::size_t> scc_size(comp_count, 0);
-    for (std::size_t v = 0; v < states.size(); ++v) ++scc_size[comp[v]];
-    for (const Edge& e : edges)
-      if (comp[e.from] == comp[e.to]) {
-        fired_in[comp[e.from]] |= e.fired;
-        cyclic[comp[e.from]] = true;  // internal edge => cycle (SCC property)
-      }
-
-    // Collect the classical markings of every starving state and hand them
-    // to one shared stubborn-set search.
-    std::vector<petri::Marking> roots;
-    for (std::size_t v = 0; v < states.size(); ++v) {
-      std::size_t c = comp[v];
-      if (!cyclic[c] || fully_expanded[v]) continue;
-      util::Bitset starving = enabled_at[v] - fired_in[c];
-      if (starving.none()) continue;
-      ++result.ignoring_expansions;
-      for (petri::Marking& m : mapping(states[v])) {
-        if (std::find(roots.begin(), roots.end(), m) == roots.end())
-          roots.push_back(std::move(m));
-      }
-    }
-    if (!roots.empty()) {
-      por::StubbornOptions sopt;
-      sopt.max_states = options_.max_states;
-      sopt.max_seconds = options_.max_seconds - timer.elapsed_seconds();
-      sopt.stop_at_first_deadlock = true;
-      sopt.metrics = options_.metrics;
-      sopt.metrics_prefix = options_.metrics_prefix + "delegated.";
-      if (options_.required_witness_place) {
-        petri::PlaceId p = *options_.required_witness_place;
-        sopt.deadlock_filter = [p](const petri::Marking& m) {
-          return m.test(p);
-        };
-      }
-      auto delegated = por::StubbornExplorer(net_, sopt).explore_from(roots);
-      result.delegated_states = delegated.state_count;
-      result.limit_hit |= delegated.limit_hit;
-      if (delegated.limit_hit) result.interrupted_phase = "ignoring-guard";
-      if (delegated.deadlock_found && !result.deadlock_found) {
-        result.deadlock_found = true;
-        result.deadlock_witness = delegated.first_deadlock;
-        result.witness_is_dead = true;
-      }
-    }
+    std::vector<const State*> state_ptrs;
+    state_ptrs.reserve(states.size());
+    for (const State& st : states) state_ptrs.push_back(&st);
+    apply_ignoring_guard(state_ptrs, edges, enabled_at, fully_expanded,
+                         options_.max_seconds - timer.elapsed_seconds(),
+                         result);
   }
 
   result.state_count = states.size();

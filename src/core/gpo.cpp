@@ -1,5 +1,7 @@
 #include "core/gpo.hpp"
 
+#include "core/parallel_gpn_analyzer.hpp"
+
 namespace gpo::core {
 
 void publish_gpo_stats(obs::MetricsRegistry& reg, std::string_view prefix,
@@ -15,6 +17,14 @@ void publish_gpo_stats(obs::MetricsRegistry& reg, std::string_view prefix,
       .set(result.bailed_to_classical ? 1.0 : 0.0);
   reg.timer(p + "seconds")
       .record_ns(static_cast<std::uint64_t>(result.seconds * 1e9));
+  const GpoParallelStats& ps = result.parallel;
+  if (ps.threads > 0) {
+    reg.counter(p + "parallel.threads").store(ps.threads);
+    reg.counter(p + "parallel.steals").store(ps.steal_count);
+    reg.counter(p + "parallel.peak_frontier").store(ps.peak_frontier);
+    reg.counter(p + "parallel.shards").store(ps.shard_count);
+    reg.gauge(p + "parallel.states_per_second").set(ps.states_per_second);
+  }
   const GpoFamilyStats& fs = result.family_stats;
   if (fs.available) {
     reg.counter(p + "family_distinct").store(fs.distinct_families);
@@ -58,6 +68,10 @@ GpoResult run_gpo(const petri::PetriNet& net, FamilyKind kind,
   }
   if (kind == FamilyKind::kInterned) {
     InternedFamily::Context ctx(net.transition_count());
+    // The work-stealing engine covers every option except build_graph
+    // (node labels require stable discovery order) — fall back for that.
+    if (options.num_threads > 1 && !options.build_graph)
+      return ParallelGpnAnalyzer(net, ctx, options).explore();
     return GpnAnalyzer<InternedFamily>(net, ctx, options).explore();
   }
   BddFamily::Context ctx(net.transition_count());

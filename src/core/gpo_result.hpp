@@ -55,6 +55,24 @@ struct GpoOptions {
   /// "delegated-search" and "ignoring-guard" spans so the phase tree (and a
   /// timeout's interrupted-phase diagnostic) show where the time went.
   obs::Tracer* tracer = nullptr;
+  /// Worker threads for the reduced search. Honored by the interned-family
+  /// engine (Engine::kGpoInterned) when build_graph is off; >1 selects the
+  /// work-stealing ParallelGpnAnalyzer. Verdicts and state/edge counts are
+  /// identical to the sequential engine (see DESIGN.md); only which
+  /// counterexample is reported may differ (it always replays).
+  std::size_t num_threads = 1;
+  /// Visited-set shards for the parallel engine; 0 = max(16, 4 * threads).
+  std::size_t shard_count = 0;
+};
+
+/// Counters specific to the parallel GPN engine (threads == 0 when the
+/// sequential path ran).
+struct GpoParallelStats {
+  std::size_t threads = 0;
+  std::size_t steal_count = 0;
+  std::size_t peak_frontier = 0;
+  std::size_t shard_count = 0;
+  double states_per_second = 0.0;
 };
 
 /// Counters of the hash-consed family store (FamilyKind::kInterned only;
@@ -120,6 +138,9 @@ struct GpoResult {
 
   /// Interner/op-cache counters (FamilyKind::kInterned runs only).
   GpoFamilyStats family_stats;
+
+  /// Work-stealing counters (parallel runs only; threads == 0 otherwise).
+  GpoParallelStats parallel;
 
   petri::LabeledGraph graph;  // populated when GpoOptions::build_graph
 };

@@ -1,0 +1,371 @@
+#include "core/parallel_gpn_analyzer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/sharded_state_set.hpp"
+#include "util/stopwatch.hpp"
+#include "util/work_stealing.hpp"
+
+namespace gpo::core {
+
+namespace {
+
+using State = ParallelGpnAnalyzer::State;
+using Analyzer = GpnAnalyzer<InternedFamily>;
+
+/// Discovery breadcrumb stored with each interned GPN state (first writer
+/// wins, like the sequential engine's per-state Breadcrumb).
+struct Crumb {
+  std::uint64_t parent = ~std::uint64_t{0};
+  bool multiple = false;
+  std::vector<petri::TransitionId> fired;
+};
+
+using StateSet = util::ShardedStateSet<State, Crumb>;
+using StateId = StateSet::StateId;
+
+struct WorkItem {
+  StateId id = 0;
+  State state;
+};
+
+/// Per-state facts recorded at expansion time and merged into dense arrays
+/// after join. Each state is expanded by exactly one worker, so the
+/// per-worker lists are disjoint.
+struct ExpansionRecord {
+  StateId id = 0;
+  util::Bitset enabled;
+  bool fully_expanded = false;
+};
+
+struct EdgeRecord {
+  StateId from = 0, to = 0;
+  util::Bitset fired;
+};
+
+// Counters and facts each worker accumulates privately, merged once at join.
+struct WorkerTally {
+  std::size_t edge_count = 0;
+  std::size_t multiple_steps = 0;
+  std::size_t single_steps = 0;
+  std::size_t steal_count = 0;
+  std::size_t expansions = 0;
+  util::Bitset fireable;
+  std::vector<ExpansionRecord> expanded;
+  std::vector<EdgeRecord> edges;
+};
+
+// State shared by all workers for one exploration.
+struct SharedSearch {
+  const Analyzer& analyzer;
+  const GpoOptions& options;
+  StateSet set;
+  util::WorkStealingQueues<WorkItem> queues;
+  util::Stopwatch timer;
+
+  /// Discovered states not yet fully expanded; 0 with empty deques = done.
+  std::atomic<std::uint64_t> in_flight{0};
+  std::atomic<std::uint64_t> peak_in_flight{0};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> limit_hit{false};
+  std::atomic<bool> bailed{false};
+  std::atomic<bool> dead_stop{false};  // stop_at_first_deadlock fired
+
+  // Live-progress slots (null when telemetry is off or the hot counters were
+  // compiled out) and the always-on MCS timer. All relaxed atomics.
+  obs::Counter* live_states = nullptr;
+  obs::Gauge* live_frontier = nullptr;
+  obs::Gauge* live_families = nullptr;
+  obs::Timer* mcs_timer = nullptr;
+  FamilyInterner* interner = nullptr;
+
+  // Rarely touched "first witness" slot, hence one plain mutex.
+  std::mutex first_mu;
+  std::optional<std::pair<StateId, TransitionSet>> first_dead;
+
+  SharedSearch(const Analyzer& a, const GpoOptions& o, std::size_t threads,
+               std::size_t shards)
+      : analyzer(a), options(o), set(shards), queues(threads) {}
+
+  void note_peak(std::uint64_t current) {
+    std::uint64_t prev = peak_in_flight.load(std::memory_order_relaxed);
+    while (prev < current && !peak_in_flight.compare_exchange_weak(
+                                prev, current, std::memory_order_relaxed)) {
+    }
+  }
+};
+
+void expand(SharedSearch& shared, std::size_t me, const WorkItem& item,
+            WorkerTally& tally) {
+  const Analyzer& an = shared.analyzer;
+  const State& s = item.state;
+
+  // Deadlock check (before expansion, as in the sequential engine).
+  if (auto scenario =
+          an.deadlock_scenario(s, shared.options.required_witness_place)) {
+    {
+      std::lock_guard<std::mutex> lock(shared.first_mu);
+      if (!shared.first_dead) shared.first_dead = {item.id, *scenario};
+    }
+    if (shared.options.stop_at_first_deadlock) {
+      shared.dead_stop.store(true, std::memory_order_relaxed);
+      shared.stop.store(true, std::memory_order_relaxed);
+      return;
+    }
+  }
+
+  std::vector<petri::TransitionId> single_enabled =
+      an.single_enabled_transitions(s);
+  ExpansionRecord rec;
+  rec.id = item.id;
+  rec.enabled = util::Bitset(tally.fireable.size());
+  for (petri::TransitionId t : single_enabled) rec.enabled.set(t);
+  tally.fireable |= rec.enabled;
+  if (single_enabled.empty()) {  // fully dead GPN state
+    tally.expanded.push_back(std::move(rec));
+    return;
+  }
+
+  Analyzer::Expansion plan = [&] {
+    obs::ScopedTimer st(shared.mcs_timer);
+    return an.plan_expansion(s, single_enabled);
+  }();
+
+  auto emit = [&](State&& next, util::Bitset&& fired, bool multiple,
+                  const std::vector<petri::TransitionId>& batch) {
+    ++tally.edge_count;
+    auto [nid, fresh] = shared.set.insert(next, Crumb{item.id, multiple, batch});
+    tally.edges.push_back({item.id, nid, std::move(fired)});
+    if (!fresh) return;
+    if (shared.set.size() > shared.options.max_states) {
+      shared.limit_hit.store(true, std::memory_order_relaxed);
+      shared.stop.store(true, std::memory_order_relaxed);
+      return;
+    }
+    if (shared.set.size() > shared.options.delegate_after_states) {
+      shared.bailed.store(true, std::memory_order_relaxed);
+      shared.stop.store(true, std::memory_order_relaxed);
+      return;
+    }
+    std::uint64_t now =
+        shared.in_flight.fetch_add(1, std::memory_order_seq_cst) + 1;
+    shared.note_peak(now);
+    if (shared.live_states != nullptr) {
+      shared.live_states->add();
+      shared.live_frontier->set(static_cast<double>(now));
+      if (shared.live_families != nullptr)
+        shared.live_families->set(
+            static_cast<double>(shared.interner->size()));
+    }
+    shared.queues.push(me, {nid, std::move(next)});
+  };
+
+  if (plan.multiple) {
+    ++tally.multiple_steps;
+    util::Bitset fired(tally.fireable.size());
+    for (petri::TransitionId t : plan.transitions) fired.set(t);
+    emit(an.m_update(s, plan.transitions), std::move(fired), true,
+         plan.transitions);
+  } else {
+    ++tally.single_steps;
+    if (plan.transitions.size() == single_enabled.size())
+      rec.fully_expanded = true;
+    for (petri::TransitionId t : plan.transitions) {
+      util::Bitset fired(tally.fireable.size());
+      fired.set(t);
+      emit(an.s_update(s, t), std::move(fired), false, {t});
+      if (shared.stop.load(std::memory_order_relaxed)) break;
+    }
+  }
+  tally.expanded.push_back(std::move(rec));
+}
+
+void worker(SharedSearch& shared, std::size_t me, WorkerTally& tally) {
+  WorkItem item;
+  while (!shared.stop.load(std::memory_order_relaxed)) {
+    bool stolen = false;
+    if (!shared.queues.acquire(me, item, stolen)) {
+      if (shared.in_flight.load(std::memory_order_seq_cst) == 0) return;
+      std::this_thread::yield();
+      continue;
+    }
+    if (stolen) ++tally.steal_count;
+    expand(shared, me, item, tally);
+    shared.in_flight.fetch_sub(1, std::memory_order_seq_cst);
+    if ((++tally.expansions & 0x3f) == 0 &&
+        shared.timer.elapsed_seconds() > shared.options.max_seconds) {
+      shared.limit_hit.store(true, std::memory_order_relaxed);
+      shared.stop.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace
+
+ParallelGpnAnalyzer::ParallelGpnAnalyzer(const petri::PetriNet& net,
+                                         InternedFamily::Context& ctx,
+                                         GpoOptions options)
+    : net_(net),
+      ctx_(ctx),
+      options_(std::move(options)),
+      analyzer_(net, ctx, options_) {}
+
+GpoResult ParallelGpnAnalyzer::explore() const {
+  const std::size_t threads = std::max<std::size_t>(1, options_.num_threads);
+  std::size_t shards = options_.shard_count;
+  if (shards == 0) shards = std::max<std::size_t>(16, 4 * threads);
+  const std::size_t nt = net_.transition_count();
+
+  GpoResult result;
+  result.fireable_transitions = util::Bitset(nt);
+
+  SharedSearch shared(analyzer_, options_, threads, shards);
+  shared.interner = &ctx_.interner();
+  if (options_.metrics != nullptr) {
+    shared.mcs_timer =
+        &options_.metrics->timer(options_.metrics_prefix + "mcs_seconds");
+    if constexpr (obs::kHotCountersEnabled) {
+      shared.live_states = &options_.metrics->counter("progress.states");
+      shared.live_frontier = &options_.metrics->gauge("progress.frontier");
+      shared.live_families = &options_.metrics->gauge("interner.families");
+    }
+  }
+
+  std::vector<WorkerTally> tallies(threads);
+  for (WorkerTally& t : tallies) t.fireable = util::Bitset(nt);
+
+  {
+    State root = analyzer_.initial_state();
+    auto [rid, fresh] = shared.set.insert(root, Crumb{});
+    (void)fresh;
+    if (shared.live_states != nullptr) shared.live_states->add();
+    shared.in_flight.store(1, std::memory_order_seq_cst);
+    shared.note_peak(1);
+    shared.queues.push(0, {rid, std::move(root)});
+  }
+
+  {
+    obs::Span span(options_.tracer, "reduced-search");
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+      pool.emplace_back(
+          [&shared, &tallies, i] { worker(shared, i, tallies[i]); });
+    for (std::thread& t : pool) t.join();
+  }
+
+  // All workers joined: the set, the tallies and the witness slot are
+  // quiescent; entry references are stable from here on.
+  for (const WorkerTally& t : tallies) {
+    result.edge_count += t.edge_count;
+    result.multiple_steps += t.multiple_steps;
+    result.single_steps += t.single_steps;
+    result.fireable_transitions |= t.fireable;
+    result.parallel.steal_count += t.steal_count;
+  }
+  result.state_count = shared.set.size();
+  result.limit_hit = shared.limit_hit.load(std::memory_order_relaxed);
+  if (result.limit_hit) result.interrupted_phase = "reduced-search";
+  result.bailed_to_classical = shared.bailed.load(std::memory_order_relaxed);
+  const bool stopped = shared.dead_stop.load(std::memory_order_relaxed);
+
+  // Counterexample: replay the recorded dead scenario along its discovery
+  // breadcrumbs, exactly like the sequential reconstruct().
+  if (shared.first_dead) {
+    const auto& [leaf, scenario] = *shared.first_dead;
+    result.deadlock_found = true;
+    const State& dead_state = shared.set.entry(leaf).state;
+    petri::Marking witness = analyzer_.scenario_marking(dead_state, scenario);
+    result.witness_is_dead = net_.is_deadlocked(witness);
+    result.deadlock_witness = std::move(witness);
+
+    std::vector<StateId> path;  // leaf..root(exclusive), then reversed
+    for (StateId s = leaf;
+         shared.set.entry(s).meta.parent != StateSet::kNoId;
+         s = shared.set.entry(s).meta.parent)
+      path.push_back(s);
+    std::reverse(path.begin(), path.end());
+    std::vector<Analyzer::ReplayStep> steps;
+    steps.reserve(path.size());
+    for (StateId child : path) {
+      const auto& crumb = shared.set.entry(child).meta;
+      steps.push_back({&shared.set.entry(crumb.parent).state, crumb.multiple,
+                       crumb.fired});
+    }
+    result.counterexample = analyzer_.replay_scenario(steps, scenario);
+  }
+
+  if (result.bailed_to_classical && !stopped) {
+    obs::Span span(options_.tracer, "delegated-search");
+    analyzer_.run_delegated(
+        {net_.initial_marking()},
+        options_.max_seconds - shared.timer.elapsed_seconds(),
+        "delegated-search", /*merge_fireable=*/true, result);
+  }
+
+  if (options_.ignoring_guard && !stopped && !result.limit_hit &&
+      !result.bailed_to_classical) {
+    obs::Span span(options_.tracer, "ignoring-guard");
+    // Densify the sharded graph: StateId -> contiguous index, then convert
+    // the per-worker expansion/edge records.
+    std::unordered_map<StateId, std::size_t> dense;
+    std::vector<const State*> states;
+    dense.reserve(shared.set.size());
+    states.reserve(shared.set.size());
+    shared.set.for_each([&](StateId id, const StateSet::Entry& e) {
+      dense.emplace(id, states.size());
+      states.push_back(&e.state);
+    });
+    std::vector<util::Bitset> enabled_at(states.size(), util::Bitset(nt));
+    std::vector<bool> fully_expanded(states.size(), false);
+    std::vector<Analyzer::ReducedEdge> edges;
+    for (const WorkerTally& t : tallies) {
+      for (const ExpansionRecord& r : t.expanded) {
+        std::size_t v = dense.at(r.id);
+        enabled_at[v] = r.enabled;
+        fully_expanded[v] = r.fully_expanded;
+      }
+      for (const EdgeRecord& e : t.edges)
+        edges.push_back({dense.at(e.from), dense.at(e.to), e.fired});
+    }
+    analyzer_.apply_ignoring_guard(
+        states, edges, enabled_at, fully_expanded,
+        options_.max_seconds - shared.timer.elapsed_seconds(), result);
+  }
+
+  result.seconds = shared.timer.elapsed_seconds();
+  ctx_.fill_stats(result.family_stats);
+
+  result.parallel.threads = threads;
+  result.parallel.shard_count = shared.set.shard_count();
+  result.parallel.peak_frontier =
+      static_cast<std::size_t>(shared.peak_in_flight.load());
+  if (result.seconds > 0)
+    result.parallel.states_per_second =
+        static_cast<double>(result.state_count) / result.seconds;
+
+  if (options_.metrics != nullptr) {
+    publish_gpo_stats(*options_.metrics, options_.metrics_prefix, result);
+    obs::MetricsRegistry& reg = *options_.metrics;
+    const std::string p = options_.metrics_prefix;
+    for (std::size_t i = 0; i < tallies.size(); ++i) {
+      const std::string w = p + "worker." + std::to_string(i) + ".";
+      reg.counter(w + "expansions").store(tallies[i].expansions);
+      reg.counter(w + "steals").store(tallies[i].steal_count);
+      reg.counter(w + "edges").store(tallies[i].edge_count);
+    }
+    if (shared.live_families != nullptr)
+      shared.live_families->set(
+          static_cast<double>(result.family_stats.distinct_families));
+  }
+  return result;
+}
+
+}  // namespace gpo::core

@@ -1,0 +1,58 @@
+// Work-stealing parallel GPO exploration over the concurrent FamilyInterner.
+//
+// The sequential GpnAnalyzer explores the reduced GPN state graph with one
+// BFS; this engine runs the same per-state expansion from N worker threads:
+//   * frontier: gpo::util::WorkStealingQueues<WorkItem> (one deque per
+//     worker, owner LIFO / thief FIFO, round-robin victims);
+//   * visited set: gpo::util::ShardedStateSet<GpnState, Crumb> — each
+//     distinct GPN state interned once, with its discovery breadcrumb
+//     (parent id, firing mode, fired transitions) for counterexample replay;
+//   * family algebra: the shared FamilyInterner (striped unique table,
+//     per-thread op caches), so workers intern and operate on families
+//     without a global lock.
+//
+// Determinism: per-state expansion (plan_expansion + s_update/m_update) is a
+// pure function of the state, so the set of reachable GPN states — and with
+// it state/edge counts, step counts, fireable transitions, the deadlock
+// verdict and the guard/bail-out decisions — is independent of exploration
+// order and thread count. Only *which* dead scenario becomes the reported
+// counterexample is scheduling-dependent; it always replays to a classical
+// firing sequence (the cross-check tests verify all of this against the
+// sequential engine).
+//
+// The post-search phases (fragmentation bail-out, anti-ignoring guard,
+// counterexample replay) run single-threaded after the workers join, through
+// the helpers shared with GpnAnalyzer.
+//
+// Not supported here: GpoOptions::build_graph (node labels require stable
+// discovery order); run_gpo falls back to the sequential engine for it.
+#pragma once
+
+#include "core/family_interner.hpp"
+#include "core/gpn_analyzer.hpp"
+#include "core/gpo_result.hpp"
+#include "petri/net.hpp"
+
+namespace gpo::core {
+
+class ParallelGpnAnalyzer {
+ public:
+  using State = GpnState<InternedFamily>;
+
+  /// `ctx` must wrap a concurrency-safe interner (FamilyInterner is); it is
+  /// shared by every worker.
+  ParallelGpnAnalyzer(const petri::PetriNet& net, InternedFamily::Context& ctx,
+                      GpoOptions options = {});
+
+  /// Runs the parallel reduced search with GpoOptions::num_threads workers
+  /// and completes the verdict exactly like GpnAnalyzer::explore().
+  [[nodiscard]] GpoResult explore() const;
+
+ private:
+  const petri::PetriNet& net_;
+  InternedFamily::Context& ctx_;
+  GpoOptions options_;
+  GpnAnalyzer<InternedFamily> analyzer_;  // shared semantics + helpers
+};
+
+}  // namespace gpo::core

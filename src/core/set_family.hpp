@@ -94,6 +94,10 @@ class ExplicitFamily {
   /// FamilyInterner's arena accounting.
   [[nodiscard]] std::size_t memory_bytes() const;
 
+  /// Empty family over a zero universe; a placeholder for arena slots
+  /// (FamilyInterner) awaiting their canonical value.
+  ExplicitFamily() = default;
+
  private:
   ExplicitFamily(std::size_t num_transitions, std::vector<TransitionSet> sets)
       : num_transitions_(num_transitions), sets_(std::move(sets)) {}

@@ -1,0 +1,35 @@
+#include "obs/diag.hpp"
+
+#include <iostream>
+#include <mutex>
+
+namespace gpo::obs {
+
+namespace {
+std::mutex g_diag_mu;
+std::ostream* g_default_stream = nullptr;  // nullptr = std::cerr
+}  // namespace
+
+DiagSink& DiagSink::instance() {
+  static DiagSink sink;
+  return sink;
+}
+
+void DiagSink::line(std::ostream& out, std::string_view text) {
+  std::lock_guard<std::mutex> lock(g_diag_mu);
+  out << text << '\n' << std::flush;
+}
+
+void DiagSink::line(std::string_view text) {
+  std::lock_guard<std::mutex> lock(g_diag_mu);
+  std::ostream& out = g_default_stream != nullptr ? *g_default_stream
+                                                  : std::cerr;
+  out << text << '\n' << std::flush;
+}
+
+void DiagSink::set_default_stream(std::ostream* out) {
+  std::lock_guard<std::mutex> lock(g_diag_mu);
+  g_default_stream = out;
+}
+
+}  // namespace gpo::obs

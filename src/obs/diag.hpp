@@ -1,0 +1,47 @@
+// Process-wide serialized diagnostic sink.
+//
+// Several threads write human-readable lines to stderr while an analysis
+// runs: the heartbeat ticker, the CLI's warning/stats printers, and (under
+// --engine all with --progress) both at once. Raw `std::cerr <<` chains are
+// not atomic per line, so their characters interleave. Every diagnostic
+// line goes through DiagSink instead: the full line is formatted first,
+// then written and flushed under one process-wide mutex, so lines come out
+// whole in some order.
+//
+// stdout (the machine-readable one-line-per-engine output) is deliberately
+// NOT routed here — it is written only by the main thread.
+#pragma once
+
+#include <ostream>
+#include <string_view>
+
+namespace gpo::obs {
+
+class DiagSink {
+ public:
+  /// The process-wide sink (function-local static: safe across TUs).
+  static DiagSink& instance();
+
+  /// Writes `text` plus a newline to `out` and flushes, holding the global
+  /// diagnostic mutex for the whole write — concurrent callers' lines come
+  /// out unbroken.
+  void line(std::ostream& out, std::string_view text);
+
+  /// Same, to the default diagnostic stream (stderr unless redirected with
+  /// set_default_stream — tests capture output that way).
+  void line(std::string_view text);
+
+  /// Redirects the default stream; nullptr restores stderr. Not thread-safe
+  /// against in-flight line() calls — call it before spawning writers.
+  void set_default_stream(std::ostream* out);
+
+ private:
+  DiagSink() = default;
+};
+
+/// Convenience: DiagSink::instance().line(text).
+inline void diag_line(std::string_view text) {
+  DiagSink::instance().line(text);
+}
+
+}  // namespace gpo::obs

@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "obs/diag.hpp"
 #include "obs/report.hpp"
 
 namespace gpo::obs {
@@ -103,7 +104,9 @@ void Heartbeat::emit_line() {
     std::string phase = tracer_->current_path();
     if (!phase.empty()) text += " phase=" + phase;
   }
-  out_ << text << "\n" << std::flush;
+  // Through the serialized sink: the ticker runs on its own thread, and
+  // worker/CLI diagnostics must not interleave with the progress line.
+  DiagSink::instance().line(out_, text);
 }
 
 }  // namespace gpo::obs

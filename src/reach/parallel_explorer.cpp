@@ -1,18 +1,18 @@
 // Parallel explicit reachability: the sharded sibling of the sequential BFS
 // in explorer.cpp. State interning goes through a gpo::util::ShardedMarkingSet
 // (N-way striped hash set, parent/via breadcrumbs in the shard entries);
-// work distribution uses one deque per worker with round-robin stealing;
-// termination is detected through an atomic count of discovered-but-not-yet-
-// expanded states. Every worker keeps private accumulators (edges, deadlocks,
-// fireable transitions, steals) that are merged after join, so the reported
-// counts are identical to the sequential engine's; only the choice of *which*
-// deadlock becomes the counterexample is scheduling-dependent (it always
-// replays). max_states / max_seconds are honored cooperatively: any worker
-// that notices a limit raises the shared stop flag and everyone drains.
+// work distribution uses the shared gpo::util::WorkStealingQueues (one deque
+// per worker with round-robin stealing); termination is detected through an
+// atomic count of discovered-but-not-yet-expanded states. Every worker keeps
+// private accumulators (edges, deadlocks, fireable transitions, steals) that
+// are merged after join, so the reported counts are identical to the
+// sequential engine's; only the choice of *which* deadlock becomes the
+// counterexample is scheduling-dependent (it always replays). max_states /
+// max_seconds are honored cooperatively: any worker that notices a limit
+// raises the shared stop flag and everyone drains.
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -21,6 +21,7 @@
 #include "reach/explorer.hpp"
 #include "util/sharded_marking_set.hpp"
 #include "util/stopwatch.hpp"
+#include "util/work_stealing.hpp"
 
 namespace gpo::reach {
 
@@ -34,36 +35,6 @@ using StateId = ShardedMarkingSet::StateId;
 struct WorkItem {
   StateId id = 0;
   Marking marking;
-};
-
-// A mutex-guarded deque: the owner pushes/pops at the back (depth-first-ish,
-// cache-friendly), thieves take from the front (old, typically "big" work).
-class WorkDeque {
- public:
-  void push(WorkItem&& w) {
-    std::lock_guard<std::mutex> lock(mu_);
-    items_.push_back(std::move(w));
-  }
-
-  bool pop(WorkItem& out) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (items_.empty()) return false;
-    out = std::move(items_.back());
-    items_.pop_back();
-    return true;
-  }
-
-  bool steal(WorkItem& out) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (items_.empty()) return false;
-    out = std::move(items_.front());
-    items_.pop_front();
-    return true;
-  }
-
- private:
-  std::mutex mu_;
-  std::deque<WorkItem> items_;
 };
 
 // Counters each worker accumulates privately and merges once at join.
@@ -81,7 +52,7 @@ struct SharedSearch {
   const petri::PetriNet& net;
   const ExplorerOptions& options;
   ShardedMarkingSet set;
-  std::vector<WorkDeque> queues;
+  util::WorkStealingQueues<WorkItem> queues;
   util::Stopwatch timer;
 
   /// Discovered states not yet fully expanded; 0 with empty deques = done.
@@ -166,28 +137,23 @@ void expand(SharedSearch& shared, std::size_t me, const WorkItem& item,
         shared.live_states->add();
         shared.live_frontier->set(static_cast<double>(now));
       }
-      shared.queues[me].push({id, std::move(next)});
+      shared.queues.push(me, {id, std::move(next)});
     }
     if (shared.stop.load(std::memory_order_relaxed)) return;
   }
 }
 
 void worker(SharedSearch& shared, std::size_t me, WorkerTally& tally) {
-  const std::size_t n = shared.queues.size();
   std::size_t expansions = 0;
   WorkItem item;
   while (!shared.stop.load(std::memory_order_relaxed)) {
-    bool have = shared.queues[me].pop(item);
-    if (!have) {
-      for (std::size_t k = 1; k < n && !have; ++k)
-        have = shared.queues[(me + k) % n].steal(item);
-      if (have) ++tally.steal_count;
-    }
-    if (!have) {
+    bool stolen = false;
+    if (!shared.queues.acquire(me, item, stolen)) {
       if (shared.in_flight.load(std::memory_order_seq_cst) == 0) return;
       std::this_thread::yield();
       continue;
     }
+    if (stolen) ++tally.steal_count;
     expand(shared, me, item, tally);
     shared.in_flight.fetch_sub(1, std::memory_order_seq_cst);
     if ((++expansions & 0x3f) == 0 &&
@@ -222,7 +188,7 @@ ExplorerResult ExplicitExplorer::explore_parallel() const {
   if (!shared.stop.load(std::memory_order_relaxed)) {
     shared.in_flight.store(1, std::memory_order_seq_cst);
     shared.note_peak(1);
-    shared.queues[0].push({root, net_.initial_marking()});
+    shared.queues.push(0, {root, net_.initial_marking()});
   }
 
   {
@@ -253,14 +219,14 @@ ExplorerResult ExplicitExplorer::explore_parallel() const {
   }
   if (shared.first_deadlock_id) {
     result.deadlock_found = true;
-    result.first_deadlock = shared.set.entry(*shared.first_deadlock_id).marking;
+    result.first_deadlock = shared.set.entry(*shared.first_deadlock_id).state;
     // Walk the parent breadcrumbs back to the root, exactly like the
     // sequential engine's reconstruct().
     std::vector<TransitionId> seq;
     for (StateId s = *shared.first_deadlock_id;
-         shared.set.entry(s).parent != ShardedMarkingSet::kNoParent;
-         s = shared.set.entry(s).parent)
-      seq.push_back(shared.set.entry(s).via);
+         shared.set.entry(s).meta.parent != ShardedMarkingSet::kNoParent;
+         s = shared.set.entry(s).meta.parent)
+      seq.push_back(shared.set.entry(s).meta.via);
     std::reverse(seq.begin(), seq.end());
     result.counterexample = std::move(seq);
   }

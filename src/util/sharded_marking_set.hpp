@@ -1,177 +1,39 @@
-// Concurrent interning store for markings: an N-way striped hash set.
-//
-// Each marking inserted exactly once gets a stable 64-bit StateId that
-// encodes its shard, so lookups never consult a global table. A shard is a
-// mutex, an open-addressing index (linear probing over (hash, local-id)
-// slots) and a chunked entry arena whose entries never move, which keeps
-// references handed out under the lock valid forever. The only cross-shard
-// state is a relaxed atomic element counter, so size() is lock-free.
-//
-// Entries carry (parent StateId, via transition) breadcrumbs; after the
-// owning threads have joined (or while holding every shard lock), a
-// counterexample is reconstructed by walking parent pointers exactly like
-// the sequential explorer does.
-//
-// Thread-safety contract:
-//   * insert() may be called concurrently from any number of threads.
-//   * entry(id) is safe for an id the calling thread obtained from its own
-//     insert(), or after synchronizing with the inserting thread (the
-//     explorer's work queues and thread join provide that happens-before).
-//   * size() / shard_sizes() are safe anytime (approximate while inserts
-//     are in flight, exact once they quiesce).
+// Concurrent interning store for markings: the explicit explorer's
+// instantiation of the generic ShardedStateSet (see sharded_state_set.hpp for
+// the striping/arena design and the thread-safety contract). Each entry
+// carries a (parent StateId, via transition) breadcrumb; after the owning
+// threads have joined, a counterexample is reconstructed by walking parent
+// pointers exactly like the sequential explorer does.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
-#include <memory>
-#include <mutex>
 #include <utility>
-#include <vector>
 
 #include "util/bitset.hpp"
-#include "util/hash.hpp"
+#include "util/sharded_state_set.hpp"
 
 namespace gpo::util {
 
-class ShardedMarkingSet {
+/// Discovery breadcrumb stored with each interned marking.
+struct MarkingCrumb {
+  std::uint64_t parent = ~std::uint64_t{0};
+  std::uint32_t via = UINT32_MAX;  // transition fired to reach this state
+};
+
+class ShardedMarkingSet : public ShardedStateSet<Bitset, MarkingCrumb> {
  public:
-  using StateId = std::uint64_t;
-  static constexpr StateId kNoParent = ~StateId{0};
+  using Base = ShardedStateSet<Bitset, MarkingCrumb>;
+  using StateId = Base::StateId;
+  static constexpr StateId kNoParent = Base::kNoId;
 
-  struct Entry {
-    Bitset marking;
-    StateId parent = kNoParent;
-    std::uint32_t via = UINT32_MAX;  // transition fired to reach this state
-  };
+  using Base::Base;
+  using Base::insert;
 
-  /// `shard_count` is rounded up to a power of two (at least 1, at most
-  /// 2^kShardIdBits so every shard index fits in a StateId).
-  explicit ShardedMarkingSet(std::size_t shard_count = 16) {
-    std::size_t n = 1;
-    while (n < shard_count && n < (std::size_t{1} << kShardIdBits)) n <<= 1;
-    shards_ = std::vector<Shard>(n);
-    shard_mask_ = n - 1;
-  }
-
-  /// Interns `m`. Returns the id and whether the marking was new; the
-  /// breadcrumb (parent, via) is stored only for a fresh insert (first
-  /// writer wins, as in sequential BFS).
+  /// Interns `m` with its discovery breadcrumb; first writer wins.
   std::pair<StateId, bool> insert(const Bitset& m, StateId parent,
                                   std::uint32_t via) {
-    const std::uint64_t h = mix64(m.hash());
-    Shard& shard = shards_[h & shard_mask_];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    if ((shard.count + 1) * 4 > shard.slots.size() * 3) shard.grow();
-    const std::size_t mask = shard.slots.size() - 1;
-    std::size_t i = (h >> kShardHashBits) & mask;
-    while (true) {
-      Slot& slot = shard.slots[i];
-      if (slot.local_plus_1 == 0) {
-        const std::uint64_t local = shard.count++;
-        slot.hash = h;
-        slot.local_plus_1 = local + 1;
-        shard.arena_emplace(local, Entry{m, parent, via});
-        size_.fetch_add(1, std::memory_order_relaxed);
-        return {make_id(local, h & shard_mask_), true};
-      }
-      if (slot.hash == h && shard.arena_at(slot.local_plus_1 - 1).marking == m)
-        return {make_id(slot.local_plus_1 - 1, h & shard_mask_), false};
-      i = (i + 1) & mask;
-    }
+    return Base::insert(m, MarkingCrumb{parent, via});
   }
-
-  /// The entry behind `id`. See the thread-safety contract above.
-  [[nodiscard]] const Entry& entry(StateId id) const {
-    const Shard& shard = shards_[id & shard_mask_];
-    return shard.arena_at(id >> kShardIdBits);
-  }
-
-  /// Elements stored, via a relaxed atomic: lock-free, monotonic.
-  [[nodiscard]] std::size_t size() const {
-    return size_.load(std::memory_order_relaxed);
-  }
-
-  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
-
-  /// Approximate heap bytes held by the set: slot tables, entry chunks and
-  /// the marking payloads. Takes each shard lock in turn, so call it from
-  /// one thread (the telemetry publisher), not the insert hot path.
-  [[nodiscard]] std::size_t memory_bytes() const {
-    std::size_t bytes = shards_.size() * sizeof(Shard);
-    for (const Shard& s : shards_) {
-      std::lock_guard<std::mutex> lock(s.mu);
-      bytes += s.slots.capacity() * sizeof(Slot);
-      bytes += s.chunks.size() * kChunkSize * sizeof(Entry);
-      for (std::uint64_t local = 0; local < s.count; ++local)
-        bytes += s.arena_at(local).marking.memory_bytes();
-    }
-    return bytes;
-  }
-
-  /// Per-shard element counts (for occupancy statistics).
-  [[nodiscard]] std::vector<std::size_t> shard_sizes() const {
-    std::vector<std::size_t> out;
-    out.reserve(shards_.size());
-    for (const Shard& s : shards_) {
-      std::lock_guard<std::mutex> lock(s.mu);
-      out.push_back(s.count);
-    }
-    return out;
-  }
-
- private:
-  // A StateId is (local index << kShardIdBits) | shard. 16 bits of shard
-  // leave 48 bits of local index — ample for explicit state spaces.
-  static constexpr unsigned kShardIdBits = 16;
-  static constexpr unsigned kShardHashBits = 16;
-
-  struct Slot {
-    std::uint64_t hash = 0;
-    std::uint64_t local_plus_1 = 0;  // 0 = empty
-  };
-
-  // Entries live in fixed-size chunks so growth never moves them.
-  static constexpr std::size_t kChunkBits = 12;  // 4096 entries per chunk
-  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
-
-  struct Shard {
-    mutable std::mutex mu;
-    std::vector<Slot> slots = std::vector<Slot>(1024);
-    std::vector<std::unique_ptr<Entry[]>> chunks;
-    std::uint64_t count = 0;
-
-    void arena_emplace(std::uint64_t local, Entry e) {
-      const std::size_t chunk = local >> kChunkBits;
-      if (chunk == chunks.size())
-        chunks.push_back(std::make_unique<Entry[]>(kChunkSize));
-      chunks[chunk][local & (kChunkSize - 1)] = std::move(e);
-    }
-
-    [[nodiscard]] const Entry& arena_at(std::uint64_t local) const {
-      return chunks[local >> kChunkBits][local & (kChunkSize - 1)];
-    }
-
-    void grow() {
-      std::vector<Slot> bigger(slots.size() * 2);
-      const std::size_t mask = bigger.size() - 1;
-      for (const Slot& s : slots) {
-        if (s.local_plus_1 == 0) continue;
-        std::size_t i = (s.hash >> kShardHashBits) & mask;
-        while (bigger[i].local_plus_1 != 0) i = (i + 1) & mask;
-        bigger[i] = s;
-      }
-      slots = std::move(bigger);
-    }
-  };
-
-  [[nodiscard]] StateId make_id(std::uint64_t local,
-                                std::uint64_t shard) const {
-    return (local << kShardIdBits) | shard;
-  }
-
-  std::vector<Shard> shards_;
-  std::uint64_t shard_mask_ = 0;
-  std::atomic<std::size_t> size_{0};
 };
 
 }  // namespace gpo::util

@@ -1,0 +1,75 @@
+// Regression suite for the memoized GpnState content hash: hash() must be
+// indistinguishable from the uncached fold, and the memo must not leak
+// through the copy-then-mutate pattern the engines use.
+#include <gtest/gtest.h>
+
+#include "core/gpn_analyzer.hpp"
+#include "core/set_family.hpp"
+#include "models/models.hpp"
+
+namespace gpo::core {
+namespace {
+
+using State = GpnState<ExplicitFamily>;
+
+State sample_state(const petri::PetriNet& net, ExplicitFamily::Context& ctx) {
+  petri::ConflictInfo conflicts(net);
+  GpnAnalyzer<ExplicitFamily> an(net, ctx, {});
+  return an.initial_state();
+}
+
+TEST(GpnStateHash, MemoizedHashEqualsUncachedComputation) {
+  petri::PetriNet net = models::make_nsdp(4);
+  ExplicitFamily::Context ctx(net.transition_count());
+  GpnAnalyzer<ExplicitFamily> an(net, ctx, {});
+
+  State s = an.initial_state();
+  const std::size_t uncached = s.uncached_hash();
+  EXPECT_EQ(s.hash(), uncached);
+  // Second call hits the memo; still the same value.
+  EXPECT_EQ(s.hash(), uncached);
+
+  // Successors along both firing rules agree too.
+  auto enabled = an.single_enabled_transitions(s);
+  ASSERT_FALSE(enabled.empty());
+  State succ = an.s_update(s, enabled.front());
+  EXPECT_EQ(succ.hash(), succ.uncached_hash());
+  EXPECT_EQ(succ.hash(), succ.uncached_hash());
+}
+
+TEST(GpnStateHash, CopyResetsTheMemoMoveKeepsIt) {
+  petri::PetriNet net = models::make_fig7();
+  ExplicitFamily::Context ctx(net.transition_count());
+  State s = sample_state(net, ctx);
+  const std::size_t h = s.hash();  // warm the memo
+
+  // Copy + mutate: the copy must not inherit the stale memo.
+  State copy(s);
+  copy.marking[0] = ctx.empty();
+  EXPECT_EQ(copy.hash(), copy.uncached_hash());
+  EXPECT_NE(copy.hash(), h);  // content changed, hash follows
+
+  // Move preserves the memo along with the content.
+  State moved(std::move(s));
+  EXPECT_EQ(moved.hash(), h);
+  EXPECT_EQ(moved.hash(), moved.uncached_hash());
+
+  // Same for the assignment operators.
+  State assigned = sample_state(net, ctx);
+  assigned = copy;
+  assigned.r = ctx.empty();
+  EXPECT_EQ(assigned.hash(), assigned.uncached_hash());
+}
+
+TEST(GpnStateHash, EqualStatesHashEqual) {
+  petri::PetriNet net = models::make_conflict_chain(5);
+  ExplicitFamily::Context ctx(net.transition_count());
+  GpnAnalyzer<ExplicitFamily> an(net, ctx, {});
+  State a = an.initial_state();
+  State b = an.initial_state();
+  ASSERT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+}  // namespace
+}  // namespace gpo::core

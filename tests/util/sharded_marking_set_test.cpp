@@ -28,7 +28,7 @@ TEST(ShardedMarkingSet, InsertInternsAndDedupes) {
   auto [id3, fresh3] = set.insert(make_marking(16, 5), id2, 99);
   EXPECT_FALSE(fresh3);
   EXPECT_EQ(id3, id1);
-  EXPECT_EQ(set.entry(id1).via, 7u);
+  EXPECT_EQ(set.entry(id1).meta.via, 7u);
   EXPECT_EQ(set.size(), 2u);
 }
 
@@ -43,9 +43,9 @@ TEST(ShardedMarkingSet, ParentChainWalksBackToRoot) {
   ASSERT_TRUE(fb);
 
   std::vector<std::uint32_t> path;
-  for (auto s = b; set.entry(s).parent != ShardedMarkingSet::kNoParent;
-       s = set.entry(s).parent)
-    path.push_back(set.entry(s).via);
+  for (auto s = b; set.entry(s).meta.parent != ShardedMarkingSet::kNoParent;
+       s = set.entry(s).meta.parent)
+    path.push_back(set.entry(s).meta.via);
   ASSERT_EQ(path.size(), 2u);
   EXPECT_EQ(path[0], 1u);
   EXPECT_EQ(path[1], 0u);
@@ -69,8 +69,8 @@ TEST(ShardedMarkingSet, GrowsPastSlotAndChunkBoundaries) {
     auto [id, fresh] = set.insert(make_marking(32, v + 1), 0, 0);
     EXPECT_FALSE(fresh);
     EXPECT_EQ(id, ids[v]);
-    EXPECT_EQ(set.entry(id).marking, make_marking(32, v + 1));
-    EXPECT_EQ(set.entry(id).parent, v);
+    EXPECT_EQ(set.entry(id).state, make_marking(32, v + 1));
+    EXPECT_EQ(set.entry(id).meta.parent, v);
   }
 }
 
@@ -111,7 +111,7 @@ TEST(ShardedMarkingSet, ConcurrentInsertersAgreeOnIds) {
   for (std::size_t v = 0; v < kDistinct; v += 13) {
     auto [id, fresh] = set.insert(make_marking(32, v + 1), 0, 0);
     EXPECT_FALSE(fresh);
-    EXPECT_EQ(set.entry(id).marking, make_marking(32, v + 1));
+    EXPECT_EQ(set.entry(id).state, make_marking(32, v + 1));
   }
 }
 
