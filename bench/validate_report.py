@@ -97,8 +97,10 @@ def main(argv):
             print(f"SCHEMA VIOLATION {e}", file=sys.stderr)
         return 1
     n = len(doc.get("engines", []))
+    jobs = doc.get("jobs", [])
+    suffix = f", {len(jobs)} jobs" if jobs else ""
     print(f"{report_path}: valid (schema_version "
-          f"{doc.get('schema_version')}, {n} engine runs)")
+          f"{doc.get('schema_version')}, {n} engine runs{suffix})")
     return 0
 
 

@@ -113,6 +113,11 @@ SymbolicResult SymbolicReachability::analyze() {
         result.blowup_reason = "time limit";
         break;
       }
+      if (util::cancel_requested(options_.cancel)) {
+        result.blowup = true;
+        result.blowup_reason = "cancelled";
+        break;
+      }
       ++result.iterations;
       Ref next_frontier = kFalse;
       for (TransitionId t = 0; t < nt; ++t) {

@@ -19,6 +19,7 @@
 #include "bdd/bdd.hpp"
 #include "obs/metrics.hpp"
 #include "petri/net.hpp"
+#include "util/cancel_token.hpp"
 
 namespace gpo::bdd {
 
@@ -37,6 +38,9 @@ struct SymbolicOptions {
   /// "> 24 hours" rows of Table 1).
   std::size_t node_limit = std::size_t{1} << 23;
   double max_seconds = std::numeric_limits<double>::infinity();
+  /// Cooperative cancellation; a fired token aborts the fixpoint with
+  /// blowup=true, blowup_reason="cancelled".
+  const util::CancelToken* cancel = nullptr;
   /// When set, only deadlocks marking this place count (safety-to-deadlock
   /// reduction); implemented as one extra conjunction on the dead-state set.
   std::optional<petri::PlaceId> required_deadlock_place;

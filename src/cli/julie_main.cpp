@@ -8,6 +8,10 @@
 //   julie --model asat:4 --safety crit_4,crit_5
 //   julie --model nsdp:4 --structure --liveness
 //   julie --model over:3 --write-pnml over3.pnml
+//
+// Subcommands (portfolio verification service, src/service/):
+//   julie batch bench/portfolio.manifest --report out.json
+//   julie serve --pool-threads 4
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -33,6 +37,7 @@
 #include "por/stubborn.hpp"
 #include "reach/explorer.hpp"
 #include "safety/safety.hpp"
+#include "service/service_cli.hpp"
 #include "unfold/unfolding.hpp"
 #include "util/stopwatch.hpp"
 
@@ -43,6 +48,13 @@ using gpo::petri::PetriNet;
 int usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " [options] [net-file(.net|.pnml)]\n"
+      << "       " << argv0 << " batch <manifest> [--report FILE]\n"
+      << "                     run a portfolio batch (engines racing with\n"
+      << "                     first-to-answer cancellation); see\n"
+      << "                     `" << argv0 << " batch --help`\n"
+      << "       " << argv0 << " serve [--pool-threads N]\n"
+      << "                     line-protocol verification server on\n"
+      << "                     stdin/stdout (CHECK/VERDICT)\n"
       << "  --model NAME:N     built-in model instead of a net file; NAME in\n"
       << "                     {nsdp, asat, over, rw, diamond, chain,\n"
       << "                      fig3, fig5, fig7}\n"
@@ -74,24 +86,6 @@ int usage(const char* argv0) {
       << "  --quiet            one summary line per engine only (stdout);\n"
       << "                     diagnostics stay on stderr\n";
   return 2;
-}
-
-std::optional<PetriNet> make_model(const std::string& spec) {
-  auto colon = spec.find(':');
-  std::string name = spec.substr(0, colon);
-  std::size_t n = 0;
-  if (colon != std::string::npos) n = std::stoul(spec.substr(colon + 1));
-  using namespace gpo::models;
-  if (name == "nsdp") return make_nsdp(n);
-  if (name == "asat") return make_arbiter_tree(n);
-  if (name == "over") return make_overtake(n);
-  if (name == "rw") return make_readers_writers(n);
-  if (name == "diamond") return make_diamond(n);
-  if (name == "chain") return make_conflict_chain(n);
-  if (name == "fig3") return make_fig3();
-  if (name == "fig5") return make_fig5();
-  if (name == "fig7") return make_fig7();
-  return std::nullopt;
 }
 
 struct Row {
@@ -213,6 +207,13 @@ void run_liveness(const PetriNet& net, std::size_t max_states,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Subcommand dispatch: `julie batch ...` / `julie serve ...` hand the rest
+  // of argv to the service layer; everything else is the classic one-net CLI.
+  if (argc > 1 && std::strcmp(argv[1], "batch") == 0)
+    return gpo::service::batch_main(argc - 2, argv + 2);
+  if (argc > 1 && std::strcmp(argv[1], "serve") == 0)
+    return gpo::service::serve_main(argc - 2, argv + 2);
+
   std::string engine = "gpo";
   std::string model_spec;
   std::string net_file;
@@ -347,7 +348,7 @@ int main(int argc, char** argv) {
   try {
     gpo::obs::Span parse_span(tr, "parse");
     if (!model_spec.empty()) {
-      net = make_model(model_spec);
+      net = gpo::models::make_by_spec(model_spec);
       if (!net) {
         std::cerr << "unknown model '" << model_spec << "'\n";
         return finish(2);

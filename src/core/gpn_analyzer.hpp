@@ -350,6 +350,7 @@ class GpnAnalyzer {
     por::StubbornOptions sopt;
     sopt.max_states = options_.max_states;
     sopt.max_seconds = remaining_seconds;
+    sopt.cancel = options_.cancel;
     sopt.stop_at_first_deadlock = true;
     sopt.metrics = options_.metrics;
     sopt.metrics_prefix = options_.metrics_prefix + "delegated.";
@@ -686,7 +687,8 @@ GpoResult GpnAnalyzer<Family>::explore() const {
         }
       }
       if (states.size() > options_.max_states ||
-          timer.elapsed_seconds() > options_.max_seconds) {
+          timer.elapsed_seconds() > options_.max_seconds ||
+          util::cancel_requested(options_.cancel)) {
         result.limit_hit = true;
         result.interrupted_phase = "reduced-search";
         return;

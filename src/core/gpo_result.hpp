@@ -13,12 +13,17 @@
 #include "petri/dot.hpp"
 #include "petri/net.hpp"
 #include "util/bitset.hpp"
+#include "util/cancel_token.hpp"
 
 namespace gpo::core {
 
 struct GpoOptions {
   std::size_t max_states = std::numeric_limits<std::size_t>::max();
   double max_seconds = std::numeric_limits<double>::infinity();
+  /// Cooperative cancellation; polled in the reduced search and forwarded to
+  /// the delegated classical searches. A fired token reports as limit_hit
+  /// with the phase it interrupted, like a timeout.
+  const util::CancelToken* cancel = nullptr;
   bool stop_at_first_deadlock = false;
   /// Record the GPN state graph (labels summarize markings); small nets only.
   bool build_graph = false;

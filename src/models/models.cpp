@@ -1,5 +1,6 @@
 #include "models/models.hpp"
 
+#include <optional>
 #include <random>
 #include <stdexcept>
 #include <string>
@@ -336,6 +337,25 @@ PetriNet make_random_net(const RandomNetParams& params) {
     b.connect(tr, pre, post);
   }
   return b.build();
+}
+
+std::optional<petri::PetriNet> make_by_spec(const std::string& spec) {
+  auto colon = spec.find(':');
+  std::string name = spec.substr(0, colon);
+  std::size_t n = 0;
+  if (colon != std::string::npos) n = std::stoul(spec.substr(colon + 1));
+  if (name == "nsdp") return make_nsdp(n);
+  if (name == "asat") return make_arbiter_tree(n);
+  if (name == "over") return make_overtake(n);
+  if (name == "rw") return make_readers_writers(n);
+  if (name == "diamond") return make_diamond(n);
+  if (name == "chain") return make_conflict_chain(n);
+  if (name == "cyclic") return make_cyclic_scheduler(n);
+  if (name == "ring") return make_slotted_ring(n);
+  if (name == "fig3") return make_fig3();
+  if (name == "fig5") return make_fig5();
+  if (name == "fig7") return make_fig7();
+  return std::nullopt;
 }
 
 }  // namespace gpo::models

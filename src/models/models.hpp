@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 
 #include "petri/net.hpp"
 
@@ -83,5 +85,13 @@ struct RandomNetParams {
 /// fused (synchronizing) transitions; safe by construction. Used by the
 /// cross-engine property tests.
 [[nodiscard]] petri::PetriNet make_random_net(const RandomNetParams& params);
+
+/// Builds a model from a "name:size" spec ("nsdp:8", "rw:12", "fig7") — the
+/// shared lookup behind `julie --model`, batch manifests and the server's
+/// CHECK command. Names: nsdp, asat, over, rw, diamond, chain, cyclic, ring,
+/// fig3, fig5, fig7. Returns std::nullopt for an unknown name; throws
+/// std::invalid_argument/std::out_of_range on a malformed size.
+[[nodiscard]] std::optional<petri::PetriNet> make_by_spec(
+    const std::string& spec);
 
 }  // namespace gpo::models

@@ -113,6 +113,25 @@ void RunReport::set_net(const std::string& name, std::size_t places,
   net_["transitions"] = static_cast<long long>(transitions);
 }
 
+namespace {
+
+json::Value engine_run_to_json(const RunReport::EngineRun& run,
+                               bool in_job) {
+  json::Value e = json::Value::object();
+  e["engine"] = run.engine;
+  if (!run.model.empty()) e["model"] = run.model;
+  e["verdict"] = run.verdict;
+  e["states"] = static_cast<long long>(run.states);
+  e["seconds"] = run.seconds;
+  e["aborted"] = run.aborted;
+  if (in_job) e["cancelled"] = run.cancelled;
+  if (!run.aborted_phase.empty()) e["aborted_phase"] = run.aborted_phase;
+  e["counters"] = run.counters;
+  return e;
+}
+
+}  // namespace
+
 json::Value RunReport::build(const Tracer* tracer,
                              const MetricsRegistry* reg) const {
   json::Value doc = json::Value::object();
@@ -122,19 +141,32 @@ json::Value RunReport::build(const Tracer* tracer,
   if (net_.is_object() && net_.size() > 0) doc["net"] = net_;
 
   json::Value engines = json::Value::array();
-  for (const EngineRun& run : engines_) {
-    json::Value e = json::Value::object();
-    e["engine"] = run.engine;
-    if (!run.model.empty()) e["model"] = run.model;
-    e["verdict"] = run.verdict;
-    e["states"] = static_cast<long long>(run.states);
-    e["seconds"] = run.seconds;
-    e["aborted"] = run.aborted;
-    if (!run.aborted_phase.empty()) e["aborted_phase"] = run.aborted_phase;
-    e["counters"] = run.counters;
-    engines.push_back(std::move(e));
-  }
+  for (const EngineRun& run : engines_)
+    engines.push_back(engine_run_to_json(run, /*in_job=*/false));
   doc["engines"] = std::move(engines);
+
+  if (!jobs_.empty()) {
+    json::Value jobs = json::Value::array();
+    for (const JobRun& job : jobs_) {
+      json::Value j = json::Value::object();
+      j["id"] = job.id;
+      j["model"] = job.model;
+      j["verdict"] = job.verdict;
+      j["winner"] = job.winner;
+      if (!job.expect.empty()) {
+        j["expect"] = job.expect;
+        j["expect_matched"] = job.expect_matched;
+      }
+      j["seconds"] = job.seconds;
+      j["cancel_latency_seconds"] = job.cancel_latency_seconds;
+      json::Value racers = json::Value::array();
+      for (const EngineRun& run : job.engines)
+        racers.push_back(engine_run_to_json(run, /*in_job=*/true));
+      j["engines"] = std::move(racers);
+      jobs.push_back(std::move(j));
+    }
+    doc["jobs"] = std::move(jobs);
+  }
 
   if (tracer != nullptr) doc["phases"] = phase_tree(tracer->records());
   else doc["phases"] = json::Value::array();

@@ -18,9 +18,18 @@
 //     "engines": [ {"engine":"full", "model":"nsdp:8", "verdict":"deadlock",
 //                   "states":.., "seconds":.., "aborted":false,
 //                   "aborted_phase":"", "counters":{...}} ],
+//     "jobs":    [ {"id":0, "model":"nsdp:6", "verdict":"deadlock",
+//                   "winner":"gpo-intern", "expect":"deadlock",
+//                   "expect_matched":true, "seconds":..,
+//                   "cancel_latency_seconds":..,
+//                   "engines":[...engine runs, with "cancelled"...]} ],
 //     "phases": [ {"name":"parse","ms":..,"children":[...]} ],
 //     "memory": {"peak_rss_bytes":.., "gauges":{...}}   // registry "mem.*"
 //   }
+//
+// "jobs" is emitted by the batch/server front-ends (`julie batch`, `julie
+// serve --report`) — one entry per portfolio job, each racer's outcome
+// nested under it.
 #pragma once
 
 #include <cstddef>
@@ -75,10 +84,33 @@ class RunReport {
     double states = -1;
     double seconds = 0;
     bool aborted = false;
+    /// The portfolio scheduler's first-to-answer cancellation stopped this
+    /// run (a subset of aborted; serialized only inside jobs[] entries).
+    bool cancelled = false;
     std::string aborted_phase;
     json::Value counters = json::Value::object();
   };
   void add_engine(EngineRun run) { engines_.push_back(std::move(run)); }
+
+  /// One portfolio job of a batch/server run (`julie batch` / `julie
+  /// serve`). `engines` holds every racer's outcome; `winner` names the
+  /// engine whose conclusive answer became the job verdict (empty when all
+  /// racers aborted). Serialized as the report's "jobs" array.
+  struct JobRun {
+    long long id = 0;
+    std::string model;
+    std::string verdict;  // deadlock | no-deadlock | undecided | error
+    std::string winner;
+    std::string expect;  // expected verdict from the manifest; "" = none
+    bool expect_matched = true;
+    double seconds = 0;
+    /// Longest drain of a cancelled loser: time from the cancel token firing
+    /// to that engine actually returning. 0 when nothing was cancelled.
+    double cancel_latency_seconds = 0;
+    std::vector<EngineRun> engines;
+  };
+  void add_job(JobRun job) { jobs_.push_back(std::move(job)); }
+  [[nodiscard]] std::size_t job_count() const { return jobs_.size(); }
 
   /// Assembles the full document. `tracer` supplies the phase tree and `reg`
   /// the "mem." gauges; either may be null.
@@ -93,6 +125,7 @@ class RunReport {
   std::string command_;
   json::Value net_ = json::Value::object();
   std::vector<EngineRun> engines_;
+  std::vector<JobRun> jobs_;
 };
 
 }  // namespace gpo::obs

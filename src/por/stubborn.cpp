@@ -168,7 +168,8 @@ reach::ExplorerResult StubbornExplorer::explore_from(
     if (live_frontier != nullptr)
       live_frontier->set(static_cast<double>(frontier.size()));
     if (states.size() > options_.max_states ||
-        timer.elapsed_seconds() > options_.max_seconds) {
+        timer.elapsed_seconds() > options_.max_seconds ||
+        util::cancel_requested(options_.cancel)) {
       result.limit_hit = true;
       result.interrupted_phase = "reduced-search";
       break;

@@ -45,6 +45,8 @@ struct StubbornOptions {
   SeedStrategy strategy = SeedStrategy::kBestOverSeeds;
   std::size_t max_states = std::numeric_limits<std::size_t>::max();
   double max_seconds = std::numeric_limits<double>::infinity();
+  /// Cooperative cancellation; see reach::ExplorerOptions::cancel.
+  const util::CancelToken* cancel = nullptr;
   bool stop_at_first_deadlock = false;
   bool build_graph = false;
   /// When set, only dead markings satisfying the predicate count as

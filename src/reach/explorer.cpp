@@ -152,7 +152,8 @@ ExplorerResult ExplicitExplorer::explore_sequential() const {
     if (live_frontier != nullptr)
       live_frontier->set(static_cast<double>(frontier.size()));
     if (states.size() > options_.max_states ||
-        timer.elapsed_seconds() > options_.max_seconds) {
+        timer.elapsed_seconds() > options_.max_seconds ||
+        util::cancel_requested(options_.cancel)) {
       result.limit_hit = true;
       result.interrupted_phase = "exploration";
       break;

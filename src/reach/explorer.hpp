@@ -14,6 +14,7 @@
 #include "petri/dot.hpp"
 #include "petri/net.hpp"
 #include "util/bitset.hpp"
+#include "util/cancel_token.hpp"
 
 namespace gpo::reach {
 
@@ -22,6 +23,10 @@ struct ExplorerOptions {
   std::size_t max_states = std::numeric_limits<std::size_t>::max();
   /// Abort after this much wall-clock time.
   double max_seconds = std::numeric_limits<double>::infinity();
+  /// Optional cooperative cancellation (the portfolio scheduler's
+  /// first-to-answer abort). Polled in the main loop next to the wall-clock
+  /// budget; a fired token reports as limit_hit with the current phase.
+  const util::CancelToken* cancel = nullptr;
   /// Stop the search at the first deadlock instead of exploring everything.
   bool stop_at_first_deadlock = false;
   /// Record the full reachability graph (states + labeled edges). Only

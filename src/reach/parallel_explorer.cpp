@@ -156,8 +156,9 @@ void worker(SharedSearch& shared, std::size_t me, WorkerTally& tally) {
     if (stolen) ++tally.steal_count;
     expand(shared, me, item, tally);
     shared.in_flight.fetch_sub(1, std::memory_order_seq_cst);
-    if ((++expansions & 0x3f) == 0 &&
-        shared.timer.elapsed_seconds() > shared.options.max_seconds) {
+    if (util::cancel_requested(shared.options.cancel) ||
+        ((++expansions & 0x3f) == 0 &&
+         shared.timer.elapsed_seconds() > shared.options.max_seconds)) {
       shared.limit_hit.store(true, std::memory_order_relaxed);
       shared.stop.store(true, std::memory_order_relaxed);
     }

@@ -85,6 +85,7 @@ SafetyResult check_safety(const PetriNet& net, const SafetyProperty& prop,
       reach::ExplorerOptions opt;
       opt.max_states = options.max_states;
       opt.max_seconds = options.max_seconds;
+      opt.cancel = options.cancel;
       opt.stop_at_first_deadlock = true;  // stop at first hit
       opt.metrics = options.metrics;
       opt.metrics_prefix = "safety.";
@@ -107,6 +108,7 @@ SafetyResult check_safety(const PetriNet& net, const SafetyProperty& prop,
       por::StubbornOptions opt;
       opt.max_states = options.max_states;
       opt.max_seconds = options.max_seconds;
+      opt.cancel = options.cancel;
       opt.stop_at_first_deadlock = true;
       opt.metrics = options.metrics;
       opt.metrics_prefix = "safety.";
@@ -128,6 +130,7 @@ SafetyResult check_safety(const PetriNet& net, const SafetyProperty& prop,
       obs::Span span(options.tracer, "symbolic-fixpoint");
       bdd::SymbolicOptions opt;
       opt.max_seconds = options.max_seconds;
+      opt.cancel = options.cancel;
       opt.required_deadlock_place = violation;
       opt.metrics = options.metrics;
       opt.metrics_prefix = "safety.";
@@ -148,6 +151,7 @@ SafetyResult check_safety(const PetriNet& net, const SafetyProperty& prop,
       core::GpoOptions opt;
       opt.max_states = options.max_states;
       opt.max_seconds = options.max_seconds;
+      opt.cancel = options.cancel;
       opt.stop_at_first_deadlock = true;
       opt.required_witness_place = violation;
       opt.metrics = options.metrics;

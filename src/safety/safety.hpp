@@ -31,6 +31,7 @@
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "petri/net.hpp"
+#include "util/cancel_token.hpp"
 
 namespace gpo::safety {
 
@@ -70,6 +71,8 @@ struct SafetyOptions {
   Engine engine = Engine::kGpoBdd;
   std::size_t max_states = std::numeric_limits<std::size_t>::max();
   double max_seconds = std::numeric_limits<double>::infinity();
+  /// Cooperative cancellation, forwarded to the inner engine.
+  const util::CancelToken* cancel = nullptr;
   /// Optional telemetry: the reduction and the inner engine run get
   /// "safety-reduction" / engine spans on `tracer`, and the inner engine
   /// publishes its counters to `metrics` under "safety.".

@@ -1,0 +1,110 @@
+#include "service/manifest.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+namespace gpo::service {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) pos = s.size();
+    if (pos > start) out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  std::ostringstream msg;
+  msg << "manifest";
+  if (line_no > 0) msg << " line " << line_no;
+  msg << ": " << what;
+  throw ManifestError(msg.str());
+}
+
+}  // namespace
+
+const std::vector<std::string>& default_portfolio() {
+  static const std::vector<std::string> kDefault = {"gpo-intern", "por", "bdd",
+                                                    "unfold"};
+  return kDefault;
+}
+
+bool is_known_engine(const std::string& name) {
+  static const char* kKnown[] = {"full",    "por",        "bdd",    "gpo",
+                                 "gpo-intern", "gpo-bdd", "unfold"};
+  return std::any_of(std::begin(kKnown), std::end(kKnown),
+                     [&](const char* k) { return name == k; });
+}
+
+JobSpec parse_job_line(const std::string& line, std::size_t line_no) {
+  std::istringstream in(line);
+  JobSpec spec;
+  spec.line = line_no;
+  if (!(in >> spec.model)) fail(line_no, "missing model");
+  std::string field;
+  while (in >> field) {
+    std::size_t eq = field.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= field.size())
+      fail(line_no, "malformed field '" + field + "' (want key=value)");
+    std::string key = field.substr(0, eq);
+    std::string value = field.substr(eq + 1);
+    try {
+      if (key == "engines") {
+        spec.engines = split(value, ',');
+        if (spec.engines.empty()) fail(line_no, "engines= names no engine");
+        for (const std::string& e : spec.engines)
+          if (!is_known_engine(e))
+            fail(line_no, "unknown engine '" + e + "'");
+      } else if (key == "max-seconds") {
+        spec.max_seconds = std::stod(value);
+        if (!(spec.max_seconds > 0))
+          fail(line_no, "max-seconds must be positive");
+      } else if (key == "max-states") {
+        spec.max_states = std::stoul(value);
+        if (spec.max_states == 0) fail(line_no, "max-states must be positive");
+      } else if (key == "expect") {
+        if (value != "deadlock" && value != "no-deadlock")
+          fail(line_no, "expect must be deadlock or no-deadlock, got '" +
+                            value + "'");
+        spec.expect = value;
+      } else {
+        fail(line_no, "unknown key '" + key + "'");
+      }
+    } catch (const ManifestError&) {
+      throw;
+    } catch (const std::exception&) {
+      fail(line_no, "bad value for " + key + ": '" + value + "'");
+    }
+  }
+  return spec;
+}
+
+Manifest parse_manifest(std::istream& in) {
+  Manifest m;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    m.jobs.push_back(parse_job_line(line, line_no));
+  }
+  return m;
+}
+
+Manifest parse_manifest_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ManifestError("cannot read manifest '" + path + "'");
+  return parse_manifest(in);
+}
+
+}  // namespace gpo::service

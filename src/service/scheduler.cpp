@@ -1,0 +1,395 @@
+#include "service/scheduler.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "models/models.hpp"
+#include "parser/net_format.hpp"
+#include "parser/pnml.hpp"
+#include "util/work_stealing.hpp"
+
+namespace gpo::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  std::string_view sv(suffix);
+  return s.size() >= sv.size() &&
+         s.compare(s.size() - sv.size(), sv.size(), sv) == 0;
+}
+
+/// Loads a job's net: net-file path (by extension) or built-in model spec.
+petri::PetriNet load_net(const std::string& model) {
+  if (ends_with(model, ".pnml")) return parser::parse_pnml_file(model);
+  if (ends_with(model, ".net")) return parser::parse_net_file(model);
+  auto m = models::make_by_spec(model);
+  if (!m) throw ManifestError("unknown model '" + model + "'");
+  return std::move(*m);
+}
+
+/// The global pool: W workers over the shared work-stealing deques (the
+/// same structure the parallel engines use for frontiers). Tasks are
+/// whole racer runs — coarse, long-blocking items — so the boring
+/// mutex-per-deque queues are far from contended.
+class Pool {
+ public:
+  explicit Pool(std::size_t workers) : queues_(workers) {
+    threads_.reserve(queues_.worker_count());
+    for (std::size_t i = 0; i < queues_.worker_count(); ++i)
+      threads_.emplace_back([this, i] { worker(i); });
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  [[nodiscard]] std::size_t workers() const { return queues_.worker_count(); }
+
+  void submit(std::function<void()> task) {
+    queues_.push(next_.fetch_add(1, std::memory_order_relaxed) % workers(),
+                 std::move(task));
+    // Pairing the notify with the queue's own mutex would require exposing
+    // it; instead sleepers use a bounded wait, so a lost notify costs at
+    // most one wait quantum, never a hang.
+    cv_.notify_one();
+  }
+
+ private:
+  // Workers take the OLDEST item (the deques' steal end) from their own
+  // queue first, then probe the others round-robin. FIFO matters here,
+  // unlike in the engines' frontier use of the same deques: racers must
+  // start in submission order, or a narrow pool can run a job's slowest
+  // racer before the racer that would have decided the race and cancelled
+  // it.
+  void worker(std::size_t me) {
+    std::function<void()> task;
+    while (true) {
+      bool got = false;
+      for (std::size_t k = 0; k < queues_.worker_count() && !got; ++k)
+        got = queues_.steal((me + k) % queues_.worker_count(), task);
+      if (got) {
+        task();
+        task = nullptr;
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(mu_);
+      if (stop_) return;
+      cv_.wait_for(lock, std::chrono::milliseconds(20));
+    }
+  }
+
+  util::WorkStealingQueues<std::function<void()>> queues_;
+  std::atomic<std::size_t> next_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace
+
+struct PortfolioScheduler::Impl {
+  struct JobState {
+    JobSpec spec;
+    std::vector<std::string> engine_names;
+    std::optional<petri::PetriNet> net;
+    util::CancelToken token;
+    std::shared_ptr<obs::MetricsRegistry> metrics;
+    Clock::time_point submitted_at;
+    Clock::time_point cancel_at;
+
+    std::mutex mu;
+    std::condition_variable cv;
+    bool decided = false;  // a winner fired the token
+    std::size_t remaining = 0;
+    bool done = false;
+    JobResult result;
+  };
+
+  explicit Impl(SchedulerOptions opts)
+      : options(std::move(opts)),
+        registry(options.registry != nullptr ? *options.registry
+                                             : default_engine_registry()),
+        pool(options.pool_threads != 0
+                 ? options.pool_threads
+                 : std::max<std::size_t>(
+                       1, std::thread::hardware_concurrency())) {}
+
+  void run_racer(JobState& js, std::size_t index, const std::string& name,
+                 const EngineRunner& runner) {
+    EngineOutcome out;
+    bool skip = false;
+    {
+      std::lock_guard<std::mutex> lock(js.mu);
+      if (js.decided) {
+        // The race was decided before this racer even started (narrow pool,
+        // fast winner): report it cancelled without paying for the run.
+        out.verdict = "cancelled";
+        out.cancelled = true;
+        out.aborted = true;
+        skip = true;
+      }
+    }
+    const Clock::time_point start = Clock::now();
+    if (!skip) {
+      RunLimits limits;
+      limits.max_states = js.spec.max_states;
+      limits.max_seconds = js.spec.max_seconds;
+      try {
+        out = runner(*js.net, limits, &js.token, js.metrics.get());
+      } catch (const std::exception& e) {
+        out = EngineOutcome{};
+        out.verdict = "failed";
+        out.aborted = true;
+        out.error = e.what();
+      }
+      if (out.seconds == 0) out.seconds = seconds_between(start, Clock::now());
+    }
+    out.engine = name;
+
+    const Clock::time_point end = Clock::now();
+    bool completed = false;
+    JobResult snapshot;
+    {
+      std::lock_guard<std::mutex> lock(js.mu);
+      if (out.conclusive && !js.decided) {
+        js.decided = true;
+        js.cancel_at = end;
+        js.result.winner = name;
+        js.result.verdict = out.verdict;
+        js.result.counterexample = out.counterexample;
+        js.token.cancel();
+      } else if (out.conclusive) {
+        // A second racer finished conclusively before it saw the cancel.
+        // Agreement is the expected (and tested) case; a disagreement is a
+        // soundness alarm worth surfacing in the report.
+        if (out.verdict != js.result.verdict)
+          append_error(js.result,
+                       out.engine + " disagrees with winner " +
+                           js.result.winner + ": " + out.verdict + " vs " +
+                           js.result.verdict);
+      } else if (out.cancelled && !skip) {
+        // Only racers that actually ran measure the drain, from the later of
+        // token-fire and their own start; a skipped racer returning from the
+        // queue says nothing about poll latency.
+        js.result.cancel_latency_seconds = std::max(
+            js.result.cancel_latency_seconds,
+            seconds_between(std::max(js.cancel_at, start), end));
+      }
+      js.result.engines[index] = std::move(out);
+      if (--js.remaining == 0) {
+        finish_locked(js, end);
+        completed = true;
+        snapshot = js.result;
+      }
+    }
+    // on_complete runs BEFORE done is published: wait()/wait_all() returning
+    // guarantees every completion callback has also returned (the server
+    // relies on this to print BYE after the last VERDICT).
+    if (completed) {
+      if (options.on_complete) options.on_complete(snapshot);
+      // Notify while holding the mutex: a waiter freed to return by done may
+      // destroy this JobState, so the broadcast must be ordered before any
+      // waiter can re-acquire the lock and leave wait().
+      std::lock_guard<std::mutex> lock(js.mu);
+      js.done = true;
+      js.cv.notify_all();
+    }
+  }
+
+  static void append_error(JobResult& r, const std::string& msg) {
+    if (!r.error.empty()) r.error += "; ";
+    r.error += msg;
+  }
+
+  /// Called with js.mu held, once the last racer returned. Fills the final
+  /// result but does NOT set done — that happens after on_complete ran.
+  void finish_locked(JobState& js, Clock::time_point end) {
+    js.result.seconds = seconds_between(js.submitted_at, end);
+    if (js.result.winner.empty()) js.result.verdict = "undecided";
+    js.result.expect_matched = js.spec.expect.empty() ||
+                               js.result.verdict == js.spec.expect;
+    js.result.metrics = js.metrics;
+  }
+
+  JobState* job(std::size_t id) {
+    std::lock_guard<std::mutex> lock(jobs_mu);
+    return id < jobs.size() ? jobs[id].get() : nullptr;
+  }
+
+  SchedulerOptions options;
+  const EngineRegistry& registry;
+  Pool pool;
+
+  std::mutex jobs_mu;
+  std::vector<std::unique_ptr<JobState>> jobs;
+};
+
+PortfolioScheduler::PortfolioScheduler(SchedulerOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+PortfolioScheduler::~PortfolioScheduler() { wait_all(); }
+
+std::size_t PortfolioScheduler::submit(const JobSpec& spec) {
+  auto js = std::make_unique<Impl::JobState>();
+  Impl::JobState* state = js.get();
+  state->spec = spec;
+  state->metrics = std::make_shared<obs::MetricsRegistry>();
+  state->engine_names =
+      spec.engines.empty() ? default_portfolio() : spec.engines;
+
+  std::size_t id;
+  {
+    std::lock_guard<std::mutex> lock(impl_->jobs_mu);
+    id = impl_->jobs.size();
+    impl_->jobs.push_back(std::move(js));
+  }
+  state->result.id = id;
+  state->result.model = spec.model;
+  state->result.expect = spec.expect;
+
+  // Resolve the portfolio and load the net up front; failures become an
+  // immediate "error" result (one bad manifest line must not sink a batch).
+  std::vector<const EngineRunner*> runners;
+  std::string error;
+  for (const std::string& name : state->engine_names) {
+    const EngineRunner* r = impl_->registry.find(name);
+    if (r == nullptr) {
+      error = "no such engine '" + name + "'";
+      break;
+    }
+    runners.push_back(r);
+  }
+  if (error.empty()) {
+    try {
+      state->net.emplace(load_net(spec.model));
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+  }
+  if (!error.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->result.verdict = "error";
+      state->result.error = error;
+      state->result.expect_matched = spec.expect.empty();
+      state->result.metrics = state->metrics;
+    }
+    // Completion is delivered from the pool, not inline, so a caller that
+    // acks the submission (the server's JOB line) gets to do so before the
+    // on_complete notification fires.
+    impl_->pool.submit([impl = impl_.get(), state] {
+      JobResult snapshot;
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        snapshot = state->result;
+      }
+      if (impl->options.on_complete) impl->options.on_complete(snapshot);
+      // Notify under the lock — same lifetime reasoning as in run_racer.
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->done = true;
+      state->cv.notify_all();
+    });
+    return id;
+  }
+
+  state->submitted_at = Clock::now();
+  state->remaining = state->engine_names.size();
+  state->result.engines.resize(state->engine_names.size());
+  for (std::size_t i = 0; i < state->engine_names.size(); ++i) {
+    const std::string& name = state->engine_names[i];
+    const EngineRunner* runner = runners[i];
+    impl_->pool.submit([this, state, i, name, runner] {
+      impl_->run_racer(*state, i, name, *runner);
+    });
+  }
+  return id;
+}
+
+JobResult PortfolioScheduler::wait(std::size_t id) {
+  Impl::JobState* js = impl_->job(id);
+  if (js == nullptr)
+    throw std::out_of_range("PortfolioScheduler::wait: no job " +
+                            std::to_string(id));
+  std::unique_lock<std::mutex> lock(js->mu);
+  js->cv.wait(lock, [&] { return js->done; });
+  return js->result;
+}
+
+void PortfolioScheduler::wait_all() {
+  // New jobs may arrive while draining (server mode); loop until the count
+  // is stable and every job is done.
+  std::size_t waited = 0;
+  while (true) {
+    std::size_t n = submitted();
+    if (waited == n) return;
+    for (; waited < n; ++waited) (void)wait(waited);
+  }
+}
+
+std::size_t PortfolioScheduler::pool_threads() const {
+  return impl_->pool.workers();
+}
+
+std::size_t PortfolioScheduler::submitted() const {
+  std::lock_guard<std::mutex> lock(impl_->jobs_mu);
+  return impl_->jobs.size();
+}
+
+std::vector<JobResult> run_batch(const Manifest& manifest,
+                                 SchedulerOptions options) {
+  PortfolioScheduler scheduler(std::move(options));
+  for (const JobSpec& spec : manifest.jobs) scheduler.submit(spec);
+  std::vector<JobResult> results;
+  results.reserve(manifest.jobs.size());
+  for (std::size_t id = 0; id < manifest.jobs.size(); ++id)
+    results.push_back(scheduler.wait(id));
+  return results;
+}
+
+void add_jobs_to_report(obs::RunReport& report,
+                        const std::vector<JobResult>& results) {
+  for (const JobResult& r : results) {
+    obs::RunReport::JobRun job;
+    job.id = static_cast<long long>(r.id);
+    job.model = r.model;
+    job.verdict = r.verdict;
+    job.winner = r.winner;
+    job.expect = r.expect;
+    job.expect_matched = r.expect_matched;
+    job.seconds = r.seconds;
+    job.cancel_latency_seconds = r.cancel_latency_seconds;
+    for (const EngineOutcome& o : r.engines) {
+      obs::RunReport::EngineRun er;
+      er.engine = o.engine;
+      er.verdict = o.verdict;
+      er.states = o.states;
+      er.seconds = o.seconds;
+      er.aborted = o.aborted;
+      er.cancelled = o.cancelled;
+      er.aborted_phase = o.aborted_phase;
+      if (r.metrics != nullptr)
+        er.counters =
+            obs::registry_to_json(*r.metrics, "engine." + o.engine + ".");
+      job.engines.push_back(std::move(er));
+    }
+    report.add_job(std::move(job));
+  }
+}
+
+}  // namespace gpo::service

@@ -1,0 +1,120 @@
+// Portfolio verification scheduler: many (net, property) jobs multiplexed
+// over ONE global thread pool, each job raced by an engine portfolio with
+// first-to-answer cancellation.
+//
+// Shape of the system (see DESIGN.md "Portfolio verification service"):
+//
+//   submit(JobSpec) ──► JobState ──► one pool task per racer
+//                                        │
+//        global WorkStealingQueues<Task> ┴ W workers (pool_threads)
+//
+//   * Every racer of every job is one task on the shared pool — there is no
+//     per-job --threads. Individual GPN graphs are tiny (frontier <= 2 on
+//     the paper's models), so cross-job/cross-racer parallelism is where the
+//     cores actually get used.
+//   * The first racer to return a conclusive verdict wins the job: its
+//     verdict/counterexample become the job's, and the job's CancelToken is
+//     fired so the remaining racers abort at their next main-loop poll.
+//     Racers that have not started yet observe the decided race under the
+//     job lock and return "cancelled" without running at all.
+//   * Each job gets its own MetricsRegistry scope; racers publish their
+//     counters under "engine.<name>." into it, and the batch report nests
+//     every racer outcome (winner, per-engine timing, cancellation latency)
+//     under the job's jobs[] entry.
+//
+// Thread-safety: submit()/wait()/wait_all() may be called from any thread.
+// The on_complete callback runs on whichever worker finished the job's last
+// racer — keep it short and synchronize your own sinks (the line server
+// takes an output mutex).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "petri/net.hpp"
+#include "service/manifest.hpp"
+#include "service/portfolio.hpp"
+
+namespace gpo::service {
+
+/// Final state of one portfolio job.
+struct JobResult {
+  std::size_t id = 0;
+  std::string model;
+  /// "deadlock" | "no-deadlock" | "undecided" (every racer aborted) |
+  /// "error" (the job never ran: bad model, unknown engine).
+  std::string verdict = "undecided";
+  /// Racer whose conclusive answer became the verdict; empty otherwise.
+  std::string winner;
+  std::string expect;          // from the manifest; "" = none
+  bool expect_matched = true;  // false iff expect set and verdict differs
+  std::string error;           // "error" verdicts: what went wrong
+  /// Wall-clock from submission to the last racer returning.
+  double seconds = 0;
+  /// Longest drain of a cancelled racer: cancel-token fire -> that racer
+  /// actually returning. The portfolio's overhead metric; 0 when nothing
+  /// was cancelled.
+  double cancel_latency_seconds = 0;
+  /// Every racer's outcome, in the job's engine-list order.
+  std::vector<EngineOutcome> engines;
+  /// Winner's counterexample (deadlock verdicts, engine permitting).
+  std::vector<petri::TransitionId> counterexample;
+  /// The job's private telemetry scope ("engine.<name>.*" counters).
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+};
+
+struct SchedulerOptions {
+  /// Global pool width. 0 = std::thread::hardware_concurrency().
+  std::size_t pool_threads = 0;
+  /// Engine set to resolve names against. nullptr = the real engines
+  /// (default_engine_registry()); tests inject synthetic racers.
+  const EngineRegistry* registry = nullptr;
+  /// Invoked on a worker thread as each job completes (server mode pushes
+  /// VERDICT lines from here). May be empty.
+  std::function<void(const JobResult&)> on_complete;
+};
+
+class PortfolioScheduler {
+ public:
+  explicit PortfolioScheduler(SchedulerOptions options = {});
+  /// Drains outstanding jobs, then joins the pool.
+  ~PortfolioScheduler();
+
+  PortfolioScheduler(const PortfolioScheduler&) = delete;
+  PortfolioScheduler& operator=(const PortfolioScheduler&) = delete;
+
+  /// Enqueues one job; returns its id (dense, submission order). Model
+  /// loading happens inline (it is microseconds for the built-ins); a load
+  /// failure yields an immediate "error" JobResult rather than a throw, so
+  /// one bad manifest line cannot take down a batch.
+  std::size_t submit(const JobSpec& spec);
+
+  /// Blocks until job `id` completed and returns its result.
+  [[nodiscard]] JobResult wait(std::size_t id);
+
+  /// Blocks until every submitted job completed.
+  void wait_all();
+
+  [[nodiscard]] std::size_t pool_threads() const;
+  [[nodiscard]] std::size_t submitted() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Convenience: run a whole manifest through a fresh scheduler and return
+/// the results in submission order. Used by `julie batch` and the tests.
+[[nodiscard]] std::vector<JobResult> run_batch(const Manifest& manifest,
+                                               SchedulerOptions options = {});
+
+/// Appends one jobs[] entry per result (and nothing else) to `report`.
+void add_jobs_to_report(obs::RunReport& report,
+                        const std::vector<JobResult>& results);
+
+}  // namespace gpo::service

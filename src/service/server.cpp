@@ -1,0 +1,97 @@
+#include "service/server.hpp"
+
+#include <atomic>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace gpo::service {
+
+namespace {
+
+std::string format_verdict(const JobResult& r) {
+  std::ostringstream line;
+  line << "VERDICT " << r.id << ' ' << r.verdict;
+  line << " winner=" << (r.winner.empty() ? "-" : r.winner);
+  line << " seconds=" << r.seconds;
+  line << " cancel-latency=" << r.cancel_latency_seconds;
+  if (!r.error.empty()) line << " error=\"" << r.error << '"';
+  return line.str();
+}
+
+}  // namespace
+
+std::size_t serve(std::istream& in, std::ostream& out,
+                  const ServerOptions& options) {
+  std::mutex out_mu;
+  std::atomic<std::size_t> completed{0};
+
+  SchedulerOptions sched;
+  sched.pool_threads = options.pool_threads;
+  sched.registry = options.registry;
+  sched.on_complete = [&](const JobResult& r) {
+    completed.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(out_mu);
+    out << format_verdict(r) << '\n' << std::flush;
+  };
+  PortfolioScheduler scheduler(std::move(sched));
+
+  {
+    const EngineRegistry& reg =
+        options.registry != nullptr ? *options.registry
+                                    : default_engine_registry();
+    std::ostringstream ready;
+    ready << "READY " << scheduler.pool_threads();
+    std::string sep = " ";
+    for (const std::string& name : reg.names()) {
+      ready << sep << name;
+      sep = ",";
+    }
+    std::lock_guard<std::mutex> lock(out_mu);
+    out << ready.str() << '\n' << std::flush;
+  }
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream words(line);
+    std::string verb;
+    words >> verb;
+    if (verb.empty()) continue;
+    if (verb == "QUIT") break;
+    if (verb != "CHECK") {
+      std::lock_guard<std::mutex> lock(out_mu);
+      out << "ERR line " << line_no << ": unknown verb '" << verb << "'\n"
+          << std::flush;
+      continue;
+    }
+    // Everything after "CHECK " is one manifest job line.
+    std::string rest;
+    std::getline(words, rest);
+    try {
+      JobSpec spec = parse_job_line(rest, line_no);
+      // Holding the output lock across submit() keeps the JOB ack ahead of
+      // the job's VERDICT: completions always arrive on pool workers (never
+      // inline in submit), and those workers block on this mutex.
+      std::lock_guard<std::mutex> lock(out_mu);
+      std::size_t id = scheduler.submit(spec);
+      out << "JOB " << id << '\n' << std::flush;
+    } catch (const ManifestError& e) {
+      std::lock_guard<std::mutex> lock(out_mu);
+      out << "ERR " << e.what() << '\n' << std::flush;
+    }
+  }
+
+  scheduler.wait_all();
+  std::size_t n = completed.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(out_mu);
+    out << "BYE " << n << '\n' << std::flush;
+  }
+  return n;
+}
+
+}  // namespace gpo::service

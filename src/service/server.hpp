@@ -1,0 +1,42 @@
+// Long-running verification server over a line protocol (stdin/stdout by
+// default: `julie serve`). One scheduler, one pool; requests race their
+// portfolios concurrently and verdicts stream back as they complete, so
+// responses are NOT in request order — they carry the job id instead.
+//
+// Protocol (one request or reply per line):
+//
+//   client -> server
+//     CHECK <model> [engines=E1,E2,..] [max-seconds=S] [max-states=N]
+//                   [expect=V]          # same grammar as a manifest line
+//     QUIT                              # drain outstanding jobs, then exit
+//
+//   server -> client
+//     READY <pool-threads> <engines-csv>           # once, at startup
+//     JOB <id>                                     # ack: CHECK was accepted
+//     ERR <message>                                # the CHECK was malformed
+//     VERDICT <id> <verdict> winner=<w> seconds=<s> cancel-latency=<s>
+//     BYE <jobs-completed>                         # once, after QUIT / EOF
+//
+// EOF on the input behaves like QUIT. Replies are serialized through one
+// output mutex because VERDICT lines are pushed from pool worker threads.
+#pragma once
+
+#include <iosfwd>
+
+#include "service/scheduler.hpp"
+
+namespace gpo::service {
+
+struct ServerOptions {
+  std::size_t pool_threads = 0;  // 0 = hardware concurrency
+  /// nullptr = default_engine_registry(); tests inject synthetic engines.
+  const EngineRegistry* registry = nullptr;
+};
+
+/// Runs the serve loop until QUIT or EOF; returns the number of jobs
+/// completed. Blocks the calling thread (verdict pushes happen on the
+/// scheduler's workers).
+std::size_t serve(std::istream& in, std::ostream& out,
+                  const ServerOptions& options = {});
+
+}  // namespace gpo::service

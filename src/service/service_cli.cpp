@@ -1,0 +1,134 @@
+#include "service/service_cli.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/report.hpp"
+#include "service/scheduler.hpp"
+#include "service/server.hpp"
+
+namespace gpo::service {
+
+namespace {
+
+int batch_usage() {
+  std::cerr
+      << "usage: julie batch <manifest> [options]\n"
+      << "  --report FILE      write a JSON run report with one jobs[] entry\n"
+      << "                     per manifest line (schema:\n"
+      << "                     bench/report_schema.json)\n"
+      << "  --pool-threads N   global worker-pool width shared by ALL jobs\n"
+      << "                     and racers (default: hardware concurrency);\n"
+      << "                     there is no per-job --threads\n"
+      << "  --quiet            suppress the per-job progress lines\n"
+      << "manifest line: <model> [engines=E1,..] [max-seconds=S]\n"
+      << "               [max-states=N] [expect=deadlock|no-deadlock]\n";
+  return 2;
+}
+
+void print_job(const JobResult& r) {
+  std::cout << "job " << r.id << " " << r.model << ": " << r.verdict;
+  if (!r.winner.empty()) std::cout << " (winner " << r.winner << ")";
+  if (!r.expect.empty() && !r.expect_matched)
+    std::cout << " EXPECTED " << r.expect;
+  if (!r.error.empty()) std::cout << " [" << r.error << "]";
+  std::cout << "  (" << r.seconds << "s";
+  if (r.cancel_latency_seconds > 0)
+    std::cout << ", cancel latency " << r.cancel_latency_seconds << "s";
+  std::cout << ")\n";
+}
+
+}  // namespace
+
+int batch_main(int argc, char** argv) {
+  std::string manifest_file, report_file;
+  SchedulerOptions sched;
+  bool quiet = false;
+
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs an argument\n";
+        exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--report") {
+      report_file = next();
+    } else if (arg == "--pool-threads") {
+      sched.pool_threads = std::stoul(next());
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h" ||
+               (!arg.empty() && arg[0] == '-')) {
+      if (arg != "--help" && arg != "-h")
+        std::cerr << "unknown option " << arg << "\n";
+      return batch_usage();
+    } else if (manifest_file.empty()) {
+      manifest_file = arg;
+    } else {
+      std::cerr << "extra argument '" << arg << "'\n";
+      return batch_usage();
+    }
+  }
+  if (manifest_file.empty()) return batch_usage();
+
+  Manifest manifest;
+  try {
+    manifest = parse_manifest_file(manifest_file);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << manifest_file << ": " << e.what() << "\n";
+    return 2;
+  }
+  if (manifest.jobs.empty()) {
+    std::cerr << "error: " << manifest_file << " contains no jobs\n";
+    return 2;
+  }
+
+  std::vector<JobResult> results = run_batch(manifest, std::move(sched));
+
+  std::size_t failures = 0;
+  for (const JobResult& r : results) {
+    if (!quiet) print_job(r);
+    if (r.verdict == "error" || !r.expect_matched ||
+        (r.verdict == "undecided" && !r.expect.empty()))
+      ++failures;
+  }
+  if (!quiet)
+    std::cout << results.size() << " jobs, " << failures << " failures\n";
+
+  if (!report_file.empty()) {
+    obs::RunReport report("julie batch");
+    report.set_command("julie batch " + manifest_file);
+    add_jobs_to_report(report, results);
+    std::ofstream out(report_file);
+    if (!out) {
+      std::cerr << "cannot write " << report_file << "\n";
+      return 1;
+    }
+    report.write(out, nullptr, nullptr);
+    if (!quiet) std::cout << "wrote " << report_file << "\n";
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int serve_main(int argc, char** argv) {
+  ServerOptions options;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--pool-threads" && i + 1 < argc) {
+      options.pool_threads = std::stoul(argv[++i]);
+    } else {
+      std::cerr << "usage: julie serve [--pool-threads N]\n"
+                << "line protocol on stdin/stdout; see src/service/"
+                   "server.hpp\n";
+      return 2;
+    }
+  }
+  serve(std::cin, std::cout, options);
+  return 0;
+}
+
+}  // namespace gpo::service

@@ -1,0 +1,22 @@
+// Entry points for the `julie batch` and `julie serve` subcommands (the
+// argv they receive starts AFTER the subcommand word).
+#pragma once
+
+namespace gpo::service {
+
+/// julie batch <manifest> [--report FILE] [--pool-threads N] [--quiet]
+///
+/// Runs every manifest job through the portfolio scheduler. Exit codes:
+///   0  every job produced a verdict matching its expect= column (or had
+///      none)
+///   1  some job errored, stayed undecided against an expectation, or
+///      produced a mismatching verdict
+///   2  usage / manifest parse errors
+int batch_main(int argc, char** argv);
+
+/// julie serve [--pool-threads N]
+///
+/// Runs the line-protocol server on stdin/stdout until QUIT or EOF.
+int serve_main(int argc, char** argv);
+
+}  // namespace gpo::service

@@ -7,6 +7,7 @@
 
 #include "petri/builder.hpp"
 #include "reach/explorer.hpp"
+#include "util/stopwatch.hpp"
 
 namespace gpo::unfold {
 
@@ -66,7 +67,9 @@ class Unfolder {
 
     while (!queue_.empty()) {
       if (prefix_.events.size() >= options_.max_events ||
-          prefix_.conditions.size() >= options_.max_conditions) {
+          prefix_.conditions.size() >= options_.max_conditions ||
+          timer_.elapsed_seconds() > options_.max_seconds ||
+          util::cancel_requested(options_.cancel)) {
         prefix_.limit_hit = true;
         break;
       }
@@ -224,6 +227,7 @@ class Unfolder {
 
   const PetriNet& net_;
   UnfoldOptions options_;
+  util::Stopwatch timer_;
   Prefix prefix_;
   std::vector<std::vector<std::size_t>> co_;       // per condition, sorted
   std::vector<bool> extendable_;                   // false past cut-offs
@@ -276,11 +280,13 @@ namespace gpo::unfold {
 
 PrefixDeadlockResult deadlock_via_prefix(const PetriNet& net,
                                          const Prefix& prefix,
-                                         std::size_t max_cuts) {
+                                         std::size_t max_cuts,
+                                         const util::CancelToken* cancel) {
   PrefixDeadlockResult result;
   PetriNet occurrence = prefix_as_net(net, prefix);
   reach::ExplorerOptions opt;
   opt.max_states = max_cuts;
+  opt.cancel = cancel;
   // Note: no stop_at_first_deadlock — a deadlock of the *occurrence net*
   // (a cut-off frontier) is not a deadlock of the original net; only the
   // predicate below decides.

@@ -24,6 +24,7 @@
 
 #include "obs/metrics.hpp"
 #include "petri/net.hpp"
+#include "util/cancel_token.hpp"
 
 namespace gpo::unfold {
 
@@ -50,6 +51,12 @@ struct Event {
 struct UnfoldOptions {
   std::size_t max_events = 100'000;
   std::size_t max_conditions = 1'000'000;
+  /// Abort the construction after this much wall-clock time (limit_hit=true;
+  /// the prefix is then not complete).
+  double max_seconds = std::numeric_limits<double>::infinity();
+  /// Cooperative cancellation; a fired token stops the construction with
+  /// limit_hit=true (the prefix is then not complete).
+  const util::CancelToken* cancel = nullptr;
   /// Optional telemetry sink: each appended event bumps "progress.states"
   /// (events are the unfolder's unit of work) and the final
   /// events/conditions/cutoff counters are published under `metrics_prefix`.
@@ -97,6 +104,7 @@ struct PrefixDeadlockResult {
 /// built without hitting its caps.
 [[nodiscard]] PrefixDeadlockResult deadlock_via_prefix(
     const petri::PetriNet& net, const Prefix& prefix,
-    std::size_t max_cuts = 10'000'000);
+    std::size_t max_cuts = 10'000'000,
+    const util::CancelToken* cancel = nullptr);
 
 }  // namespace gpo::unfold

@@ -1,0 +1,46 @@
+// Cooperative cancellation for engine runs.
+//
+// The portfolio scheduler races several engines on the same job and cancels
+// the losers the moment the first conclusive verdict lands. Engines cannot be
+// killed preemptively (they own arenas, interners and worker threads), so
+// cancellation is cooperative: every engine's options carry an optional
+// `const CancelToken*`, and the engine polls it in its main loop exactly
+// where it already polls the wall-clock budget. A fired token is reported
+// through the same channel as a timeout (`limit_hit` + `interrupted_phase`),
+// so the abort plumbing introduced for `--max-seconds` serves both.
+//
+// The token is a single atomic flag: cancel() is release, cancelled() is
+// acquire, so any state written by the canceller before firing (e.g. the
+// winning verdict) is visible to an engine that observed the cancel. Tokens
+// are shared by reference between the scheduler and N engine runs; the
+// scheduler owns the storage and keeps it alive until every run returned.
+#pragma once
+
+#include <atomic>
+
+namespace gpo::util {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Idempotent and thread-safe.
+  void cancel() noexcept { flag_.store(true, std::memory_order_release); }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return flag_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Null-safe poll: engines hold `const CancelToken*` that is nullptr outside
+/// portfolio runs.
+[[nodiscard]] inline bool cancel_requested(const CancelToken* t) noexcept {
+  return t != nullptr && t->cancelled();
+}
+
+}  // namespace gpo::util

@@ -1,0 +1,103 @@
+// Line-protocol server: READY/JOB/VERDICT/BYE framing, malformed-input ERR
+// replies, out-of-order verdict delivery by id, and EOF-as-QUIT draining.
+#include "service/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gpo::service {
+namespace {
+
+std::vector<std::string> run_server(const std::string& input,
+                                    std::size_t pool_threads = 2) {
+  std::istringstream in(input);
+  std::ostringstream out;
+  ServerOptions options;
+  options.pool_threads = pool_threads;
+  serve(in, out, options);
+  std::vector<std::string> lines;
+  std::istringstream reader(out.str());
+  std::string line;
+  while (std::getline(reader, line)) lines.push_back(line);
+  return lines;
+}
+
+/// id -> full VERDICT line.
+std::map<int, std::string> verdicts(const std::vector<std::string>& lines) {
+  std::map<int, std::string> out;
+  for (const std::string& l : lines)
+    if (l.rfind("VERDICT ", 0) == 0)
+      out[std::stoi(l.substr(8))] = l;
+  return out;
+}
+
+TEST(Server, ChecksYieldVerdictsAndBye) {
+  auto lines = run_server(
+      "CHECK fig7\n"
+      "CHECK rw:3 engines=por,bdd expect=no-deadlock\n"
+      "QUIT\n");
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines.front().rfind("READY 2 ", 0), 0u) << lines.front();
+  // Every registered engine is advertised in the READY line.
+  EXPECT_NE(lines.front().find("gpo-intern"), std::string::npos);
+
+  auto v = verdicts(lines);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_NE(v[0].find(" deadlock "), std::string::npos) << v[0];
+  EXPECT_NE(v[0].find("winner="), std::string::npos);
+  EXPECT_NE(v[1].find(" no-deadlock "), std::string::npos) << v[1];
+  EXPECT_NE(v[1].find("cancel-latency="), std::string::npos);
+  EXPECT_EQ(lines.back(), "BYE 2");
+}
+
+TEST(Server, JobAckAlwaysPrecedesItsVerdict) {
+  auto lines = run_server("CHECK nosuch:9\nCHECK fig7\nQUIT\n");
+  std::map<int, std::size_t> ack_at, verdict_at;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].rfind("JOB ", 0) == 0)
+      ack_at[std::stoi(lines[i].substr(4))] = i;
+    else if (lines[i].rfind("VERDICT ", 0) == 0)
+      verdict_at[std::stoi(lines[i].substr(8))] = i;
+  }
+  ASSERT_EQ(ack_at.size(), 2u);
+  ASSERT_EQ(verdict_at.size(), 2u);
+  for (const auto& [id, pos] : ack_at)
+    EXPECT_LT(pos, verdict_at.at(id)) << "JOB " << id << " after its VERDICT";
+  // The bad model is an error verdict, not a dropped request.
+  EXPECT_NE(verdicts(lines)[0].find(" error "), std::string::npos);
+}
+
+TEST(Server, MalformedLinesGetErrAndDoNotKillTheSession) {
+  auto lines = run_server(
+      "PING\n"
+      "CHECK fig7 engines=smt\n"
+      "CHECK fig7\n"
+      "QUIT\n");
+  std::size_t errs = 0;
+  for (const std::string& l : lines)
+    if (l.rfind("ERR", 0) == 0) ++errs;
+  EXPECT_EQ(errs, 2u) << "unknown verb + unknown engine";
+  ASSERT_EQ(verdicts(lines).size(), 1u);
+  EXPECT_EQ(lines.back(), "BYE 1");
+}
+
+TEST(Server, EofDrainsLikeQuit) {
+  auto lines = run_server("CHECK fig5\n");  // no QUIT: EOF ends the session
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines.back(), "BYE 1");
+  EXPECT_EQ(verdicts(lines).size(), 1u);
+}
+
+TEST(Server, EmptySessionSaysReadyAndBye) {
+  auto lines = run_server("QUIT\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("READY", 0), 0u);
+  EXPECT_EQ(lines[1], "BYE 0");
+}
+
+}  // namespace
+}  // namespace gpo::service
