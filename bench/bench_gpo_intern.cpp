@@ -1,13 +1,16 @@
-// Interner ablation driver: runs the GPO engine twice per model — once on the
-// seed ExplicitFamily path (deep-copied families, per-probe re-hashing) and
-// once on FamilyKind::kInterned (hash-consed families, memoized op cache) —
+// Family-storage ablation driver: runs the GPO engine three times per model —
+// the seed ExplicitFamily path (deep-copied families, per-probe re-hashing),
+// FamilyKind::kInterned (hash-consed families, memoized op cache), and the
+// ZDD-backed store (--family-store zdd: one canonical diagram per family) —
 // over the Fig-1 diamond, Fig-2 conflict chain and the four Table-1 families,
-// checks the verdicts match, and emits BENCH_gpo.json so the perf trajectory
-// can be charted across PRs.
+// checks the verdicts match, and emits BENCH_gpo.json so the perf/memory
+// trajectory can be charted across PRs.
 //
-// Usage: bench_gpo_intern [--smoke] [--max-seconds S] [--out FILE]
+// Usage: bench_gpo_intern [--smoke] [--slow] [--max-seconds S] [--out FILE]
 //                         [--report FILE] [--parallel-out FILE]
 //   --smoke         small instances + tight budget (CI bench-smoke job)
+//   --slow          also run zdd-only memory-wall rows (nsdp:10, chain:18)
+//                   that the explicit backends cannot hold in RAM
 //   --max-seconds   per-engine wall-clock budget (default 60)
 //   --out           JSON output path (default BENCH_gpo.json)
 //   --report        also write the schema-stable run report shared with
@@ -15,13 +18,21 @@
 //   --parallel-out  also sweep the work-stealing engine over 1/2/4/8 threads
 //                   and emit the scaling rows (BENCH_gpo_parallel.json)
 //
-// JSON schema (schema_version 1):
-//   { "schema_version": 1, "benchmark": "bench_gpo_intern", "smoke": bool,
+// JSON schema (schema_version 2):
+//   { "schema_version": 2, "benchmark": "bench_gpo_intern", "smoke": bool,
 //     "models": [ { "model": str, "states": int, "seed_wall_ms": float,
-//                   "interned_wall_ms": float, "speedup": float,
-//                   "peak_families": int, "intern_calls": int,
-//                   "dedup_ratio": float, "op_cache_hit_rate": float,
-//                   "families_bytes": int, "verdicts_match": bool } ] }
+//                   "interned_wall_ms": float, "zdd_wall_ms": float,
+//                   "speedup": float, "peak_families": int,
+//                   "intern_calls": int, "dedup_ratio": float,
+//                   "op_cache_hit_rate": float, "families_bytes": int,
+//                   "zdd_families_bytes": int, "zdd_nodes": int,
+//                   "peak_rss_bytes": int, "zdd_only": bool,
+//                   "verdicts_match": bool } ] }
+//   zdd_only rows skip the explicit/interned runs (their seed/interned
+//   columns are 0) — they exist to chart the memory wall the ZDD store
+//   breaks. peak_rss_bytes is the process high-water mark sampled after the
+//   row, so it is monotone down the table; read it as "the run up to and
+//   including this row fit in this much".
 // Parallel sweep schema (schema_version 1):
 //   { "schema_version": 1, "benchmark": "bench_gpo_parallel", "smoke": bool,
 //     "host_cpus": int,
@@ -54,11 +65,18 @@ struct Row {
   std::size_t states = 0;
   double seed_ms = 0;
   double interned_ms = 0;
+  double zdd_ms = 0;
   std::size_t peak_families = 0;
   std::size_t intern_calls = 0;
   double dedup_ratio = 0;
   double op_cache_hit_rate = 0;
   std::size_t families_bytes = 0;
+  std::size_t zdd_families_bytes = 0;
+  std::size_t zdd_nodes = 0;
+  /// Process high-water RSS after this row; monotone down the table.
+  std::size_t peak_rss_bytes = 0;
+  /// Memory-wall row (--slow): only the ZDD backend ran.
+  bool zdd_only = false;
   bool verdicts_match = true;
 
   [[nodiscard]] double speedup() const {
@@ -67,23 +85,34 @@ struct Row {
 };
 
 Row run_row(const std::string& label, const PetriNet& net, double budget,
-            gpo::obs::MetricsRegistry* reg, gpo::obs::RunReport* report) {
+            bool zdd_only, gpo::obs::MetricsRegistry* reg,
+            gpo::obs::RunReport* report) {
   Row row;
   row.model = label;
+  row.zdd_only = zdd_only;
   gpo::core::GpoOptions opt;
   opt.max_seconds = budget;
   opt.metrics = reg;
 
-  opt.metrics_prefix = "seed.";
-  gpo::util::Stopwatch seed_timer;
-  auto seed = gpo::core::run_gpo(net, gpo::core::FamilyKind::kExplicit, opt);
-  row.seed_ms = seed_timer.elapsed_seconds() * 1000.0;
+  gpo::core::GpoResult seed, interned;
+  if (!zdd_only) {
+    opt.metrics_prefix = "seed.";
+    gpo::util::Stopwatch seed_timer;
+    seed = gpo::core::run_gpo(net, gpo::core::FamilyKind::kExplicit, opt);
+    row.seed_ms = seed_timer.elapsed_seconds() * 1000.0;
 
-  opt.metrics_prefix = "intern.";
-  gpo::util::Stopwatch interned_timer;
-  auto interned =
-      gpo::core::run_gpo(net, gpo::core::FamilyKind::kInterned, opt);
-  row.interned_ms = interned_timer.elapsed_seconds() * 1000.0;
+    opt.metrics_prefix = "intern.";
+    gpo::util::Stopwatch interned_timer;
+    interned = gpo::core::run_gpo(net, gpo::core::FamilyKind::kInterned, opt);
+    row.interned_ms = interned_timer.elapsed_seconds() * 1000.0;
+  }
+
+  opt.metrics_prefix = "zdd.";
+  opt.family_store = gpo::core::FamilyStore::kZdd;
+  gpo::util::Stopwatch zdd_timer;
+  auto zdd = gpo::core::run_gpo(net, gpo::core::FamilyKind::kExplicit, opt);
+  row.zdd_ms = zdd_timer.elapsed_seconds() * 1000.0;
+  opt.family_store = gpo::core::FamilyStore::kExplicit;
 
   if (report != nullptr && reg != nullptr) {
     auto add = [&](const char* engine, const auto& r, double seconds,
@@ -101,22 +130,39 @@ Row run_row(const std::string& label, const PetriNet& net, double budget,
       er.counters = gpo::obs::registry_to_json(*reg, prefix);
       report->add_engine(std::move(er));
     };
-    add("gpo", seed, row.seed_ms / 1000.0, "seed.");
-    add("gpo-intern", interned, row.interned_ms / 1000.0, "intern.");
+    if (!zdd_only) {
+      add("gpo", seed, row.seed_ms / 1000.0, "seed.");
+      add("gpo-intern", interned, row.interned_ms / 1000.0, "intern.");
+    }
+    add("gpo-zdd-store", zdd, row.zdd_ms / 1000.0, "zdd.");
   }
 
-  row.states = interned.state_count;
-  row.peak_families = interned.family_stats.distinct_families;
-  row.intern_calls = interned.family_stats.intern_calls;
-  row.dedup_ratio = interned.family_stats.dedup_ratio;
-  row.op_cache_hit_rate = interned.family_stats.op_cache_hit_rate;
-  row.families_bytes = interned.family_stats.families_bytes;
-  row.verdicts_match = seed.state_count == interned.state_count &&
-                       seed.deadlock_found == interned.deadlock_found &&
-                       seed.multiple_steps == interned.multiple_steps &&
-                       seed.single_steps == interned.single_steps &&
-                       seed.counterexample == interned.counterexample &&
-                       !interned.limit_hit == !seed.limit_hit;
+  row.states = zdd.state_count;
+  row.zdd_families_bytes = zdd.family_stats.families_bytes;
+  row.zdd_nodes = zdd.family_stats.zdd_nodes;
+  if (!zdd_only) {
+    row.states = interned.state_count;
+    row.peak_families = interned.family_stats.distinct_families;
+    row.intern_calls = interned.family_stats.intern_calls;
+    row.dedup_ratio = interned.family_stats.dedup_ratio;
+    row.op_cache_hit_rate = interned.family_stats.op_cache_hit_rate;
+    row.families_bytes = interned.family_stats.families_bytes;
+    // The ZDD enumerates witnesses in diagram order, so the counterexample
+    // is compared only between the two explicit backends; the zdd run must
+    // agree on everything order-independent.
+    row.verdicts_match = seed.state_count == interned.state_count &&
+                         seed.deadlock_found == interned.deadlock_found &&
+                         seed.multiple_steps == interned.multiple_steps &&
+                         seed.single_steps == interned.single_steps &&
+                         seed.counterexample == interned.counterexample &&
+                         !interned.limit_hit == !seed.limit_hit &&
+                         zdd.state_count == seed.state_count &&
+                         zdd.deadlock_found == seed.deadlock_found &&
+                         zdd.multiple_steps == seed.multiple_steps &&
+                         zdd.single_steps == seed.single_steps &&
+                         zdd.limit_hit == seed.limit_hit;
+  }
+  row.peak_rss_bytes = gpo::obs::peak_rss_bytes();
   return row;
 }
 
@@ -212,7 +258,7 @@ void write_parallel_json(std::ostream& out,
 
 void write_json(std::ostream& out, const std::vector<Row>& rows, bool smoke) {
   out << "{\n"
-      << "  \"schema_version\": 1,\n"
+      << "  \"schema_version\": 2,\n"
       << "  \"benchmark\": \"bench_gpo_intern\",\n"
       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
       << "  \"models\": [\n";
@@ -224,6 +270,7 @@ void write_json(std::ostream& out, const std::vector<Row>& rows, bool smoke) {
         << "      \"seed_wall_ms\": " << json_number(r.seed_ms) << ",\n"
         << "      \"interned_wall_ms\": " << json_number(r.interned_ms)
         << ",\n"
+        << "      \"zdd_wall_ms\": " << json_number(r.zdd_ms) << ",\n"
         << "      \"speedup\": " << json_number(r.speedup()) << ",\n"
         << "      \"peak_families\": " << r.peak_families << ",\n"
         << "      \"intern_calls\": " << r.intern_calls << ",\n"
@@ -231,6 +278,10 @@ void write_json(std::ostream& out, const std::vector<Row>& rows, bool smoke) {
         << "      \"op_cache_hit_rate\": " << json_number(r.op_cache_hit_rate)
         << ",\n"
         << "      \"families_bytes\": " << r.families_bytes << ",\n"
+        << "      \"zdd_families_bytes\": " << r.zdd_families_bytes << ",\n"
+        << "      \"zdd_nodes\": " << r.zdd_nodes << ",\n"
+        << "      \"peak_rss_bytes\": " << r.peak_rss_bytes << ",\n"
+        << "      \"zdd_only\": " << (r.zdd_only ? "true" : "false") << ",\n"
         << "      \"verdicts_match\": " << (r.verdicts_match ? "true" : "false")
         << "\n"
         << "    }" << (i + 1 < rows.size() ? "," : "") << "\n";
@@ -242,12 +293,14 @@ void write_json(std::ostream& out, const std::vector<Row>& rows, bool smoke) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool slow = false;
   double budget = 60.0;
   std::string out_path = "BENCH_gpo.json";
   std::string report_path;
   std::string parallel_out_path;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--smoke")) smoke = true;
+    if (!std::strcmp(argv[i], "--slow")) slow = true;
     if (!std::strcmp(argv[i], "--max-seconds") && i + 1 < argc)
       budget = std::stod(argv[++i]);
     if (!std::strcmp(argv[i], "--out") && i + 1 < argc) out_path = argv[++i];
@@ -271,6 +324,7 @@ int main(int argc, char** argv) {
   struct Instance {
     std::string label;
     PetriNet net;
+    bool zdd_only = false;
   };
   std::vector<Instance> instances;
   using namespace gpo::models;
@@ -278,6 +332,7 @@ int main(int argc, char** argv) {
     instances.push_back({"diamond:4", make_diamond(4)});
     instances.push_back({"chain:8", make_conflict_chain(8)});
     instances.push_back({"nsdp:4", make_nsdp(4)});
+    instances.push_back({"nsdp:6", make_nsdp(6)});
     instances.push_back({"asat:4", make_arbiter_tree(4)});
     instances.push_back({"over:3", make_overtake(3)});
     instances.push_back({"rw:6", make_readers_writers(6)});
@@ -292,29 +347,40 @@ int main(int argc, char** argv) {
     instances.push_back({"rw:8", make_readers_writers(8)});
     instances.push_back({"rw:12", make_readers_writers(12)});
   }
+  if (slow) {
+    // Memory-wall rows: the explicit family stores cannot hold these in a
+    // CI-sized address space, so only the ZDD backend runs.
+    instances.push_back({"nsdp:10", make_nsdp(10), /*zdd_only=*/true});
+    instances.push_back({"chain:18", make_conflict_chain(18),
+                         /*zdd_only=*/true});
+  }
 
   std::vector<Row> rows;
   bool all_match = true;
   std::cout << std::left << std::setw(12) << "model" << std::right
             << std::setw(8) << "states" << std::setw(12) << "seed-ms"
-            << std::setw(12) << "intern-ms" << std::setw(9) << "speedup"
-            << std::setw(10) << "families" << std::setw(8) << "dedup"
+            << std::setw(12) << "intern-ms" << std::setw(11) << "zdd-ms"
+            << std::setw(9) << "speedup" << std::setw(10) << "families"
             << std::setw(7) << "hit%" << std::setw(12) << "fam-bytes"
+            << std::setw(12) << "zdd-bytes" << std::setw(11) << "rss-mb"
             << "\n";
   for (const Instance& inst : instances) {
     gpo::obs::MetricsRegistry reg;  // fresh per instance
-    Row row = run_row(inst.label, inst.net, budget,
+    Row row = run_row(inst.label, inst.net, budget, inst.zdd_only,
                       report_path.empty() ? nullptr : &reg,
                       report_path.empty() ? nullptr : &report);
     std::cout << std::left << std::setw(12) << row.model << std::right
               << std::setw(8) << row.states << std::setw(12) << std::fixed
               << std::setprecision(2) << row.seed_ms << std::setw(12)
-              << row.interned_ms << std::setw(8) << std::setprecision(1)
-              << row.speedup() << "x" << std::setw(10) << row.peak_families
-              << std::setw(8) << std::setprecision(2) << row.dedup_ratio
-              << std::setw(6)
+              << row.interned_ms << std::setw(11) << row.zdd_ms
+              << std::setw(8) << std::setprecision(1) << row.speedup() << "x"
+              << std::setw(10) << row.peak_families << std::setw(6)
               << static_cast<int>(row.op_cache_hit_rate * 100) << "%"
-              << std::setw(12) << row.families_bytes
+              << std::setw(12) << row.families_bytes << std::setw(12)
+              << row.zdd_families_bytes << std::setw(11)
+              << std::setprecision(1)
+              << static_cast<double>(row.peak_rss_bytes) / (1024.0 * 1024.0)
+              << (row.zdd_only ? "  [zdd-only]" : "")
               << (row.verdicts_match ? "" : "  VERDICT MISMATCH") << "\n";
     all_match &= row.verdicts_match;
     rows.push_back(std::move(row));

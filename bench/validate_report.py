@@ -2,16 +2,103 @@
 """Validate a run report against bench/report_schema.json.
 
 Usage: validate_report.py REPORT.json [SCHEMA.json]
+       validate_report.py --bench BENCH_gpo.json
 
 Implements the same JSON-Schema subset as the C++ validator
 (src/obs/json.hpp: obs::json::validate): type, required, properties,
 items, enum, minimum, additionalProperties, and $ref into #/definitions.
 No third-party jsonschema dependency, so CI can run it on a bare runner.
 Exit status 0 iff the document validates; errors go to stderr.
+
+--bench validates the bench_gpo_intern output instead (schema_version 2,
+field presence/types, every verdicts_match true) and enforces the
+checked-in memory gate: the nsdp:6 row's zdd_families_bytes must stay
+under NSDP6_ZDD_BYTES_MAX. The gate is the regression tripwire for the
+ZDD family store — measured ~2.6 MB (of which ~1 MB is the fixed
+computed-table allocation), asserted at 3x headroom while the explicit
+store needs ~23 MB on the same model.
 """
 import json
 import sys
 from pathlib import Path
+
+# Memory gate for the ZDD family store (bytes); see module docstring.
+NSDP6_ZDD_BYTES_MAX = 8_000_000
+
+# bench_gpo_intern row fields -> required python types (bool checked before
+# int: isinstance(True, int) holds in python).
+BENCH_ROW_FIELDS = {
+    "model": str,
+    "states": int,
+    "seed_wall_ms": (int, float),
+    "interned_wall_ms": (int, float),
+    "zdd_wall_ms": (int, float),
+    "speedup": (int, float),
+    "peak_families": int,
+    "intern_calls": int,
+    "dedup_ratio": (int, float),
+    "op_cache_hit_rate": (int, float),
+    "families_bytes": int,
+    "zdd_families_bytes": int,
+    "zdd_nodes": int,
+    "peak_rss_bytes": int,
+    "zdd_only": bool,
+    "verdicts_match": bool,
+}
+
+
+def validate_bench(doc):
+    """Returns a list of error strings for a bench_gpo_intern document."""
+    errors = []
+    if doc.get("schema_version") != 2:
+        errors.append(f"schema_version {doc.get('schema_version')!r} != 2")
+    if doc.get("benchmark") != "bench_gpo_intern":
+        errors.append(f"benchmark {doc.get('benchmark')!r}")
+    models = doc.get("models")
+    if not isinstance(models, list) or not models:
+        return errors + ["models: expected non-empty array"]
+    for i, row in enumerate(models):
+        where = f"models[{i}] ({row.get('model', '?')})"
+        for key, ty in BENCH_ROW_FIELDS.items():
+            if key not in row:
+                errors.append(f"{where}: missing '{key}'")
+            elif isinstance(row[key], bool) and ty is not bool:
+                errors.append(f"{where}: '{key}' is bool, want {ty}")
+            elif not isinstance(row[key], ty):
+                errors.append(f"{where}: '{key}' is "
+                              f"{type(row[key]).__name__}, want {ty}")
+        if not row.get("verdicts_match", False):
+            errors.append(f"{where}: verdicts_match is false")
+        if row.get("zdd_only") and (row.get("seed_wall_ms") or
+                                    row.get("interned_wall_ms")):
+            errors.append(f"{where}: zdd_only row has explicit timings")
+        if row.get("model") == "nsdp:6" and isinstance(
+                row.get("zdd_families_bytes"), int):
+            if row["zdd_families_bytes"] > NSDP6_ZDD_BYTES_MAX:
+                errors.append(
+                    f"{where}: zdd_families_bytes "
+                    f"{row['zdd_families_bytes']} exceeds the memory gate "
+                    f"NSDP6_ZDD_BYTES_MAX={NSDP6_ZDD_BYTES_MAX}")
+    return errors
+
+
+def main_bench(path):
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    errors = validate_bench(doc)
+    if errors:
+        for e in errors:
+            print(f"BENCH VIOLATION {e}", file=sys.stderr)
+        return 1
+    gated = [r for r in doc["models"] if r["model"] == "nsdp:6"]
+    gate = (f", nsdp:6 zdd bytes {gated[0]['zdd_families_bytes']}"
+            f" <= {NSDP6_ZDD_BYTES_MAX}" if gated else "")
+    print(f"{path}: valid (schema_version 2, {len(doc['models'])} models, "
+          f"all verdicts match{gate})")
+    return 0
 
 
 def type_ok(schema_type, doc):
@@ -77,6 +164,8 @@ def validate(schema, doc, root, path="$"):
 
 
 def main(argv):
+    if len(argv) == 3 and argv[1] == "--bench":
+        return main_bench(argv[2])
     if len(argv) < 2 or len(argv) > 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2

@@ -6,22 +6,11 @@
 namespace gpo::bdd {
 
 BddManager::BddManager(Var num_vars, std::size_t node_limit)
-    : num_vars_(num_vars), node_limit_(node_limit) {
-  // Terminals sit below every variable level.
-  nodes_.push_back({num_vars_, kFalse, kFalse});  // index 0 = false
-  nodes_.push_back({num_vars_, kTrue, kTrue});    // index 1 = true
-}
+    : table_(num_vars, node_limit, "BDD") {}
 
 Ref BddManager::make_node(Var var, Ref low, Ref high) {
   if (low == high) return low;  // redundant-test elimination
-  NodeKey key{var, low, high};
-  auto it = unique_.find(key);
-  if (it != unique_.end()) return it->second;
-  if (nodes_.size() >= node_limit_) throw BddLimitExceeded(node_limit_);
-  Ref ref = static_cast<Ref>(nodes_.size());
-  nodes_.push_back({var, low, high});
-  unique_.emplace(key, ref);
-  return ref;
+  return table_.insert(var, low, high);
 }
 
 Ref BddManager::var(Var v) { return make_node(v, kFalse, kTrue); }
@@ -40,13 +29,13 @@ Ref BddManager::ite_rec(Ref f, Ref g, Ref h) {
   if (auto it = ite_cache_.find(key); it != ite_cache_.end())
     return it->second;
 
-  Var top = nodes_[f].var;
-  top = std::min(top, nodes_[g].var);
-  top = std::min(top, nodes_[h].var);
+  Var top = node(f).var;
+  top = std::min(top, node(g).var);
+  top = std::min(top, node(h).var);
 
   auto cof = [&](Ref x, bool hi) -> Ref {
-    if (nodes_[x].var != top) return x;
-    return hi ? nodes_[x].high : nodes_[x].low;
+    if (node(x).var != top) return x;
+    return hi ? node(x).high : node(x).low;
   };
 
   Ref lo = ite_rec(cof(f, false), cof(g, false), cof(h, false));
@@ -79,19 +68,19 @@ Ref BddManager::exists_rec(
     bool universal) {
   if (is_terminal(f)) return f;
   // Skip quantified variables above f's top level: they don't constrain f.
-  while (!is_terminal(cube) && nodes_[cube].var < nodes_[f].var)
-    cube = nodes_[cube].high;
+  while (!is_terminal(cube) && node(cube).var < node(f).var)
+    cube = node(cube).high;
   if (cube == kTrue) return f;
 
   TripleKey key{f, cube, universal ? Ref{1} : Ref{0}};
   if (auto it = cache.find(key); it != cache.end()) return it->second;
 
   // Copy: recursion below may grow the node arena and invalidate references.
-  const Node n = nodes_[f];
+  const dd::Node n = node(f);
   Ref result;
-  if (n.var == nodes_[cube].var) {
-    Ref lo = exists_rec(n.low, nodes_[cube].high, cache, universal);
-    Ref hi = exists_rec(n.high, nodes_[cube].high, cache, universal);
+  if (n.var == node(cube).var) {
+    Ref lo = exists_rec(n.low, node(cube).high, cache, universal);
+    Ref hi = exists_rec(n.high, node(cube).high, cache, universal);
     result = universal ? apply_and(lo, hi) : apply_or(lo, hi);
   } else {
     Ref lo = exists_rec(n.low, cube, cache, universal);
@@ -122,10 +111,10 @@ Ref BddManager::and_exists_rec(Ref f, Ref g, Ref cube) {
   if (auto it = and_exists_cache_.find(key); it != and_exists_cache_.end())
     return it->second;
 
-  Var top = std::min(nodes_[f].var, nodes_[g].var);
+  Var top = std::min(node(f).var, node(g).var);
   // Quantified variables above both supports contribute nothing.
-  while (!is_terminal(cube) && nodes_[cube].var < top)
-    cube = nodes_[cube].high;
+  while (!is_terminal(cube) && node(cube).var < top)
+    cube = node(cube).high;
   if (cube == kTrue) {
     Ref r = apply_and(f, g);
     and_exists_cache_.emplace(key, r);
@@ -133,17 +122,18 @@ Ref BddManager::and_exists_rec(Ref f, Ref g, Ref cube) {
   }
 
   auto cof = [&](Ref x, bool hi) -> Ref {
-    if (nodes_[x].var != top) return x;
-    return hi ? nodes_[x].high : nodes_[x].low;
+    if (node(x).var != top) return x;
+    return hi ? node(x).high : node(x).low;
   };
 
   Ref result;
-  if (nodes_[cube].var == top) {
-    Ref lo = and_exists_rec(cof(f, false), cof(g, false), nodes_[cube].high);
+  if (node(cube).var == top) {
+    Ref inner = node(cube).high;
+    Ref lo = and_exists_rec(cof(f, false), cof(g, false), inner);
     if (lo == kTrue) {
       result = kTrue;  // short-circuit: ∨ with anything is true
     } else {
-      Ref hi = and_exists_rec(cof(f, true), cof(g, true), nodes_[cube].high);
+      Ref hi = and_exists_rec(cof(f, true), cof(g, true), inner);
       result = apply_or(lo, hi);
     }
   } else {
@@ -172,7 +162,7 @@ Ref BddManager::rename_rec(Ref f, const std::vector<Var>& map,
   if (is_terminal(f)) return f;
   if (auto it = cache.find(f); it != cache.end()) return it->second;
   // Copy: recursion below may grow the node arena and invalidate references.
-  const Node n = nodes_[f];
+  const dd::Node n = node(f);
   Ref lo = rename_rec(n.low, map, cache);
   Ref hi = rename_rec(n.high, map, cache);
   Ref result = make_node(map[n.var], lo, hi);
@@ -181,15 +171,17 @@ Ref BddManager::rename_rec(Ref f, const std::vector<Var>& map,
 }
 
 Ref BddManager::restrict_var(Ref f, Var v, bool value) {
-  if (is_terminal(f) || nodes_[f].var > v) return f;
-  if (nodes_[f].var == v) return value ? nodes_[f].high : nodes_[f].low;
+  if (is_terminal(f) || node(f).var > v) return f;
+  if (node(f).var == v) return value ? node(f).high : node(f).low;
   // f's top var is above v: rebuild.
   std::unordered_map<Ref, Ref> cache;
   std::function<Ref(Ref)> rec = [&](Ref x) -> Ref {
-    if (is_terminal(x) || nodes_[x].var > v) return x;
-    if (nodes_[x].var == v) return value ? nodes_[x].high : nodes_[x].low;
+    if (is_terminal(x) || node(x).var > v) return x;
+    if (node(x).var == v) return value ? node(x).high : node(x).low;
     if (auto it = cache.find(x); it != cache.end()) return it->second;
-    Ref r = make_node(nodes_[x].var, rec(nodes_[x].low), rec(nodes_[x].high));
+    // Copy: the recursive calls below may grow the arena.
+    const dd::Node n = node(x);
+    Ref r = make_node(n.var, rec(n.low), rec(n.high));
     cache.emplace(x, r);
     return r;
   };
@@ -199,11 +191,11 @@ Ref BddManager::restrict_var(Ref f, Var v, bool value) {
 double BddManager::sat_count(Ref f, const std::vector<Var>& counted_vars) {
   std::vector<Var> sorted = counted_vars;
   std::sort(sorted.begin(), sorted.end());
-  // position[v] = index of v in the counted list; num_vars_ sentinel if absent.
-  std::vector<std::uint32_t> position(num_vars_ + 1,
-                                      static_cast<std::uint32_t>(-1));
+  const Var nv = num_vars();
+  // position[v] = index of v in the counted list; num_vars sentinel if absent.
+  std::vector<std::uint32_t> position(nv + 1, static_cast<std::uint32_t>(-1));
   for (std::size_t i = 0; i < sorted.size(); ++i) position[sorted[i]] = i;
-  position[num_vars_] = static_cast<std::uint32_t>(sorted.size());
+  position[nv] = static_cast<std::uint32_t>(sorted.size());
 
   for (Var v : support(f))
     if (position[v] == static_cast<std::uint32_t>(-1))
@@ -215,28 +207,28 @@ double BddManager::sat_count(Ref f, const std::vector<Var>& counted_vars) {
     if (x == kFalse) return 0.0;
     if (x == kTrue) return 1.0;
     if (auto it = cache.find(x); it != cache.end()) return it->second;
-    const Node& n = nodes_[x];
+    const dd::Node& n = node(x);
     auto weight = [&](Ref child) {
       // Levels skipped between x and child double the count each.
       std::uint32_t from = position[n.var] + 1;
-      std::uint32_t to = position[nodes_[child].var];
+      std::uint32_t to = position[node(child).var];
       return rec(child) * std::pow(2.0, static_cast<double>(to - from));
     };
     double r = weight(n.low) + weight(n.high);
     cache.emplace(x, r);
     return r;
   };
-  double top_skip = static_cast<double>(position[nodes_[f].var]);
+  double top_skip = static_cast<double>(position[node(f).var]);
   return rec(f) * std::pow(2.0, top_skip);
 }
 
 util::Bitset BddManager::pick_one_sat(Ref f) {
   if (f == kFalse)
     throw std::invalid_argument("pick_one_sat: function is false");
-  util::Bitset assignment(num_vars_);
+  util::Bitset assignment(num_vars());
   Ref cur = f;
   while (!is_terminal(cur)) {
-    const Node& n = nodes_[cur];
+    const dd::Node& n = node(cur);
     if (n.low != kFalse) {
       cur = n.low;
     } else {
@@ -258,7 +250,7 @@ bool BddManager::enumerate_sats(
           "enumerate_sats: support not contained in universe");
 
   std::size_t emitted = 0;
-  util::Bitset assignment(num_vars_);
+  util::Bitset assignment(num_vars());
   // Depth-first over the universe variables, expanding don't-cares.
   std::function<bool(Ref, std::size_t)> rec = [&](Ref x,
                                                   std::size_t depth) -> bool {
@@ -270,9 +262,9 @@ bool BddManager::enumerate_sats(
     }
     Var v = sorted[depth];
     Ref lo = x, hi = x;
-    if (!is_terminal(x) && nodes_[x].var == v) {
-      lo = nodes_[x].low;
-      hi = nodes_[x].high;
+    if (!is_terminal(x) && node(x).var == v) {
+      lo = node(x).low;
+      hi = node(x).high;
     }
     assignment.reset(v);
     if (!rec(lo, depth + 1)) return false;
@@ -285,26 +277,26 @@ bool BddManager::enumerate_sats(
 }
 
 std::vector<Var> BddManager::support(Ref f) const {
-  std::vector<bool> seen(nodes_.size(), false);
-  std::vector<bool> in_support(num_vars_, false);
+  std::vector<bool> seen(table_.size(), false);
+  std::vector<bool> in_support(num_vars(), false);
   std::vector<Ref> stack{f};
   while (!stack.empty()) {
     Ref x = stack.back();
     stack.pop_back();
     if (is_terminal(x) || seen[x]) continue;
     seen[x] = true;
-    in_support[nodes_[x].var] = true;
-    stack.push_back(nodes_[x].low);
-    stack.push_back(nodes_[x].high);
+    in_support[node(x).var] = true;
+    stack.push_back(node(x).low);
+    stack.push_back(node(x).high);
   }
   std::vector<Var> out;
-  for (Var v = 0; v < num_vars_; ++v)
+  for (Var v = 0; v < num_vars(); ++v)
     if (in_support[v]) out.push_back(v);
   return out;
 }
 
 std::size_t BddManager::node_count(Ref f) const {
-  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<bool> seen(table_.size(), false);
   std::vector<Ref> stack{f};
   std::size_t count = 0;
   bool saw_false = false, saw_true = false;
@@ -322,8 +314,8 @@ std::size_t BddManager::node_count(Ref f) const {
     if (seen[x]) continue;
     seen[x] = true;
     ++count;
-    stack.push_back(nodes_[x].low);
-    stack.push_back(nodes_[x].high);
+    stack.push_back(node(x).low);
+    stack.push_back(node(x).high);
   }
   return count + (saw_false ? 1 : 0) + (saw_true ? 1 : 0);
 }

@@ -4,8 +4,12 @@
 // of GPN set families (src/core/set_family.hpp).
 //
 // Design notes:
-//  * Nodes live in one arena and are hash-consed through a unique table, so
-//    two equivalent functions always have the same Ref — equality is O(1).
+//  * Nodes live in one arena and are hash-consed through a unique table
+//    (dd::NodeTable, the kernel shared with the zero-suppressed package in
+//    zdd.hpp), so two equivalent functions always have the same Ref —
+//    equality is O(1). The BDD-specific reduction rule (redundant-test
+//    elimination: low == high ⇒ low) is applied here in make_node; the
+//    shared table is a pure structural interner.
 //  * No complement edges: negation is a cached O(|f|) traversal. This keeps
 //    the invariants simple; the verification workloads here are bounded by
 //    variable ordering, not by the constant factor complement edges buy.
@@ -22,26 +26,22 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bdd/dd_kernel.hpp"
 #include "util/bitset.hpp"
 #include "util/hash.hpp"
 
 namespace gpo::bdd {
 
-using Var = std::uint32_t;
+using Var = dd::Var;
 /// Index of a node in the manager arena. Refs are stable for the lifetime of
 /// the manager and canonical: equal Refs <=> equal Boolean functions.
-using Ref = std::uint32_t;
+using Ref = dd::Ref;
 
-inline constexpr Ref kFalse = 0;
-inline constexpr Ref kTrue = 1;
+inline constexpr Ref kFalse = dd::kTerminal0;
+inline constexpr Ref kTrue = dd::kTerminal1;
 
 /// Thrown when an operation would grow the arena past the node limit.
-class BddLimitExceeded : public std::runtime_error {
- public:
-  explicit BddLimitExceeded(std::size_t limit)
-      : std::runtime_error("BDD node limit exceeded (" +
-                           std::to_string(limit) + " nodes)") {}
-};
+using BddLimitExceeded = dd::DdLimitExceeded;
 
 class BddManager {
  public:
@@ -51,7 +51,7 @@ class BddManager {
   explicit BddManager(Var num_vars, std::size_t node_limit = std::size_t{1}
                                                              << 23);
 
-  [[nodiscard]] Var num_vars() const { return num_vars_; }
+  [[nodiscard]] Var num_vars() const { return table_.num_vars(); }
 
   /// The function "variable v".
   [[nodiscard]] Ref var(Var v);
@@ -115,34 +115,14 @@ class BddManager {
   [[nodiscard]] std::size_t node_count(Ref f) const;
 
   /// Arena size == peak live nodes (no GC), the Table-1 "peak BDD" metric.
-  [[nodiscard]] std::size_t total_nodes() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t total_nodes() const { return table_.size(); }
 
-  [[nodiscard]] Var var_of(Ref f) const { return nodes_[f].var; }
-  [[nodiscard]] Ref low_of(Ref f) const { return nodes_[f].low; }
-  [[nodiscard]] Ref high_of(Ref f) const { return nodes_[f].high; }
+  [[nodiscard]] Var var_of(Ref f) const { return table_.node(f).var; }
+  [[nodiscard]] Ref low_of(Ref f) const { return table_.node(f).low; }
+  [[nodiscard]] Ref high_of(Ref f) const { return table_.node(f).high; }
   [[nodiscard]] bool is_terminal(Ref f) const { return f <= kTrue; }
 
  private:
-  struct Node {
-    Var var;  // == num_vars_ for terminals (below every real level)
-    Ref low;
-    Ref high;
-  };
-
-  struct NodeKey {
-    Var var;
-    Ref low;
-    Ref high;
-    bool operator==(const NodeKey&) const = default;
-  };
-  struct NodeKeyHash {
-    std::size_t operator()(const NodeKey& k) const {
-      return static_cast<std::size_t>(util::mix64(
-          (std::uint64_t{k.var} << 40) ^ (std::uint64_t{k.low} << 20) ^
-          k.high));
-    }
-  };
-
   struct TripleKey {
     Ref a, b, c;
     bool operator==(const TripleKey&) const = default;
@@ -154,6 +134,8 @@ class BddManager {
     }
   };
 
+  [[nodiscard]] const dd::Node& node(Ref r) const { return table_.node(r); }
+
   Ref make_node(Var var, Ref low, Ref high);
 
   Ref ite_rec(Ref f, Ref g, Ref h);
@@ -164,10 +146,7 @@ class BddManager {
   Ref rename_rec(Ref f, const std::vector<Var>& map,
                  std::unordered_map<Ref, Ref>& cache);
 
-  Var num_vars_;
-  std::size_t node_limit_;
-  std::vector<Node> nodes_;
-  std::unordered_map<NodeKey, Ref, NodeKeyHash> unique_;
+  dd::NodeTable table_;
   std::unordered_map<TripleKey, Ref, TripleKeyHash> ite_cache_;
   std::unordered_map<TripleKey, Ref, TripleKeyHash> and_exists_cache_;
   /// and_exists keys its cache on (f, g, cube); the marker lets us clear the

@@ -1,0 +1,195 @@
+// Shared decision-diagram kernel: the representation-independent substrate
+// under both the ROBDD package (bdd.hpp) and the zero-suppressed package
+// (zdd.hpp).
+//
+// What is shared and what is not:
+//   * NodeTable — the arena + unique table ("hash consing"). Both diagram
+//     kinds store (var, low, high) triples, never free nodes, and rely on
+//     insert() returning one canonical Ref per structurally distinct triple.
+//     The *reduction rule* is deliberately NOT here: BDDs drop redundant
+//     tests (low == high ⇒ low), ZDDs drop positive-empty edges
+//     (high == ∅ ⇒ low). Each manager applies its own rule in make_node
+//     before asking the table for a Ref, so the table stays a pure
+//     structural interner and canonicity remains the manager's invariant.
+//   * ComputedCache — a bounded direct-mapped memo table for binary node
+//     operations, the classical "computed table" of OBDD packages. A
+//     colliding entry is overwritten (counted as an eviction), so memory is
+//     bounded without eviction scans; recomputation after overwrite is
+//     sound because ops are deterministic functions of canonical Refs.
+//   * DdLimitExceeded — the clean out-of-budget escape both managers throw
+//     instead of exhausting memory on a pathological variable order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/hash.hpp"
+
+namespace gpo::dd {
+
+using Var = std::uint32_t;
+/// Index of a node in a NodeTable arena. Refs are stable for the lifetime of
+/// the table and canonical under the owning manager's reduction rule:
+/// equal Refs <=> equal functions/families.
+using Ref = std::uint32_t;
+
+/// The two terminal nodes every diagram kind seeds at fixed indices. Their
+/// meaning is per-manager (BDD: false/true; ZDD: ∅ / {∅}).
+inline constexpr Ref kTerminal0 = 0;
+inline constexpr Ref kTerminal1 = 1;
+
+inline constexpr Ref kInvalidRef = 0xFFFFFFFFu;
+
+/// Thrown when an operation would grow a node arena past its limit.
+class DdLimitExceeded : public std::runtime_error {
+ public:
+  DdLimitExceeded(const char* kind, std::size_t limit)
+      : std::runtime_error(std::string(kind) + " node limit exceeded (" +
+                           std::to_string(limit) + " nodes)"),
+        limit_(limit) {}
+
+  [[nodiscard]] std::size_t limit() const { return limit_; }
+
+ private:
+  std::size_t limit_;
+};
+
+struct Node {
+  Var var;  // == num_vars for the two terminals (below every real level)
+  Ref low;
+  Ref high;
+};
+
+/// Arena-allocated, hash-consed node store. Insert-only: nodes are never
+/// freed, so size() is by construction the peak live size — the "peak
+/// DD-size" statistic the benchmarks report — and a Ref stays valid forever.
+class NodeTable {
+ public:
+  /// `kind` labels DdLimitExceeded messages ("BDD"/"ZDD"); it must outlive
+  /// the table (string literals do).
+  NodeTable(Var num_vars, std::size_t node_limit, const char* kind)
+      : num_vars_(num_vars), node_limit_(node_limit), kind_(kind) {
+    nodes_.push_back({num_vars_, kTerminal0, kTerminal0});
+    nodes_.push_back({num_vars_, kTerminal1, kTerminal1});
+  }
+
+  /// The Ref of the unique node (var, low, high), allocating it on first
+  /// sight. Pure structural interning: callers apply their reduction rule
+  /// *before* calling (the table never inspects low/high semantics).
+  Ref insert(Var var, Ref low, Ref high) {
+    Key key{var, low, high};
+    auto it = unique_.find(key);
+    if (it != unique_.end()) return it->second;
+    if (nodes_.size() >= node_limit_) throw DdLimitExceeded(kind_, node_limit_);
+    Ref ref = static_cast<Ref>(nodes_.size());
+    nodes_.push_back({var, low, high});
+    unique_.emplace(key, ref);
+    return ref;
+  }
+
+  /// The reference is invalidated by the next insert() (vector growth); copy
+  /// the Node before recursing, as every manager's recursion does.
+  [[nodiscard]] const Node& node(Ref r) const { return nodes_[r]; }
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] Var num_vars() const { return num_vars_; }
+  [[nodiscard]] std::size_t node_limit() const { return node_limit_; }
+
+  /// Heap bytes of the arena + unique table (unordered_map nodes estimated
+  /// at key+value+two pointers each), the backing of the "mem.*" gauges.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return nodes_.capacity() * sizeof(Node) +
+           unique_.size() * (sizeof(Key) + sizeof(Ref) + 2 * sizeof(void*)) +
+           unique_.bucket_count() * sizeof(void*);
+  }
+
+ private:
+  struct Key {
+    Var var;
+    Ref low;
+    Ref high;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return static_cast<std::size_t>(util::mix64(
+          (std::uint64_t{k.var} << 40) ^ (std::uint64_t{k.low} << 20) ^
+          k.high));
+    }
+  };
+
+  Var num_vars_;
+  std::size_t node_limit_;
+  const char* kind_;
+  std::vector<Node> nodes_;
+  std::unordered_map<Key, Ref, KeyHash> unique_;
+};
+
+/// Bounded direct-mapped computed table for (op, f, g) -> result memoization.
+/// The counters decompose the miss stream: `evictions` counts colliding
+/// overwrites (capacity misses), so hit rate shortfalls can be attributed to
+/// cache size vs. compulsory first-sight misses.
+class ComputedCache {
+ public:
+  explicit ComputedCache(std::size_t entries) {
+    std::size_t rounded = 1;
+    while (rounded < entries) rounded <<= 1;
+    slots_.resize(rounded);
+  }
+
+  [[nodiscard]] bool lookup(std::uint8_t op, Ref a, Ref b, Ref& out) {
+    const Entry& e = slots_[index(op, a, b)];
+    if (e.a == a && e.b == b && e.op == op) {
+      ++hits_;
+      out = e.result;
+      return true;
+    }
+    ++misses_;
+    return false;
+  }
+
+  void store(std::uint8_t op, Ref a, Ref b, Ref result) {
+    Entry& e = slots_[index(op, a, b)];
+    if (e.a == kInvalidRef)
+      ++occupied_;
+    else if (e.a != a || e.b != b || e.op != op)
+      ++evictions_;
+    e = {a, b, result, op};
+  }
+
+  [[nodiscard]] std::size_t entries() const { return slots_.size(); }
+  [[nodiscard]] std::size_t hits() const { return hits_; }
+  [[nodiscard]] std::size_t misses() const { return misses_; }
+  [[nodiscard]] std::size_t evictions() const { return evictions_; }
+  [[nodiscard]] std::size_t occupied() const { return occupied_; }
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return slots_.capacity() * sizeof(Entry);
+  }
+
+ private:
+  struct Entry {
+    Ref a = kInvalidRef;  // kInvalidRef marks a never-written slot
+    Ref b = 0;
+    Ref result = 0;
+    std::uint8_t op = 0;
+  };
+
+  [[nodiscard]] std::size_t index(std::uint8_t op, Ref a, Ref b) const {
+    return static_cast<std::size_t>(
+               util::mix64((std::uint64_t{a} << 34) ^
+                           (std::uint64_t{op} << 32) ^ std::uint64_t{b})) &
+           (slots_.size() - 1);
+  }
+
+  std::vector<Entry> slots_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t evictions_ = 0;
+  std::size_t occupied_ = 0;
+};
+
+}  // namespace gpo::dd

@@ -68,6 +68,13 @@ struct FamilyInternerStats {
   std::size_t intern_calls = 0;       ///< families presented for interning
   std::size_t op_cache_hits = 0;
   std::size_t op_cache_misses = 0;
+  /// Colliding overwrites of an occupied computed-table slot: the capacity
+  /// component of the miss stream (misses - evictions ≈ compulsory misses).
+  std::size_t op_cache_evictions = 0;
+  /// Slots ever written, summed over per-thread caches.
+  std::size_t op_cache_occupied = 0;
+  /// Total slots across per-thread caches (entries × registered threads).
+  std::size_t op_cache_capacity = 0;
   std::size_t families_bytes = 0;  ///< payload bytes of the canonical arena
 
   /// Families that would have been constructed/stored without hash-consing,
@@ -244,6 +251,11 @@ class FamilyInterner {
     for (const ThreadCache& tc : caches_) {
       s.op_cache_hits += tc.cache->hits.load(std::memory_order_relaxed);
       s.op_cache_misses += tc.cache->misses.load(std::memory_order_relaxed);
+      s.op_cache_evictions +=
+          tc.cache->evictions.load(std::memory_order_relaxed);
+      s.op_cache_occupied +=
+          tc.cache->occupied.load(std::memory_order_relaxed);
+      s.op_cache_capacity += op_cache_entries_;
     }
     return s;
   }
@@ -274,6 +286,8 @@ class FamilyInterner {
     std::vector<CacheEntry> slots;
     std::atomic<std::size_t> hits{0};
     std::atomic<std::size_t> misses{0};
+    std::atomic<std::size_t> evictions{0};
+    std::atomic<std::size_t> occupied{0};
   };
 
   struct ThreadCache {
@@ -419,7 +433,14 @@ class FamilyInterner {
                            ? fa.subtract(family(b))
                            : fa.containing(static_cast<petri::TransitionId>(b));
     FamilyId id = intern(std::move(r));
-    if (cache != nullptr) cache->slots[slot] = {a, b, id, op};
+    if (cache != nullptr) {
+      CacheEntry& e = cache->slots[slot];
+      if (e.a == kInvalidFamilyId)
+        cache->occupied.fetch_add(1, std::memory_order_relaxed);
+      else if (e.a != a || e.b != b || e.op != op)
+        cache->evictions.fetch_add(1, std::memory_order_relaxed);
+      e = {a, b, id, op};
+    }
     return id;
   }
 
@@ -485,12 +506,16 @@ class InternedFamily {
     void fill_stats(GpoFamilyStats& out) const {
       FamilyInternerStats s = interner_->stats();
       out.available = true;
+      out.backend = "interned";
       out.distinct_families = s.distinct_families;
       out.intern_calls = s.intern_calls;
       out.dedup_ratio = s.dedup_ratio();
       out.op_cache_hits = s.op_cache_hits;
       out.op_cache_misses = s.op_cache_misses;
       out.op_cache_hit_rate = s.op_cache_hit_rate();
+      out.op_cache_evictions = s.op_cache_evictions;
+      out.op_cache_occupied = s.op_cache_occupied;
+      out.op_cache_capacity = s.op_cache_capacity;
       out.families_bytes = s.families_bytes;
     }
 

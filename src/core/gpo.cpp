@@ -1,6 +1,7 @@
 #include "core/gpo.hpp"
 
 #include "core/parallel_gpn_analyzer.hpp"
+#include "core/zdd_family.hpp"
 
 namespace gpo::core {
 
@@ -33,8 +34,24 @@ void publish_gpo_stats(obs::MetricsRegistry& reg, std::string_view prefix,
     reg.counter(p + "family_op_cache_hits").store(fs.op_cache_hits);
     reg.counter(p + "family_op_cache_misses").store(fs.op_cache_misses);
     reg.gauge(p + "family_op_cache_hit_rate").set(fs.op_cache_hit_rate);
+    reg.counter(p + "family_op_cache_evictions").store(fs.op_cache_evictions);
+    reg.counter(p + "family_op_cache_occupied").store(fs.op_cache_occupied);
+    reg.counter(p + "family_op_cache_capacity").store(fs.op_cache_capacity);
+    reg.gauge(p + "family_op_cache_occupancy")
+        .set(fs.op_cache_capacity == 0
+                 ? 0.0
+                 : static_cast<double>(fs.op_cache_occupied) /
+                       static_cast<double>(fs.op_cache_capacity));
     reg.gauge("mem." + p + "families_bytes")
         .set(static_cast<double>(fs.families_bytes));
+    if (fs.backend == "zdd") {
+      reg.counter(p + "zdd.nodes").store(fs.zdd_nodes);
+      reg.counter(p + "zdd.cache_hits").store(fs.op_cache_hits);
+      reg.counter(p + "zdd.cache_misses").store(fs.op_cache_misses);
+      reg.counter(p + "zdd.cache_evictions").store(fs.op_cache_evictions);
+      reg.gauge("mem." + p + "zdd.bytes")
+          .set(static_cast<double>(fs.families_bytes));
+    }
   }
 }
 
@@ -55,13 +72,32 @@ GpoFamilyStats family_stats_from_registry(const obs::MetricsRegistry& reg,
   fs.op_cache_misses =
       static_cast<std::size_t>(get("family_op_cache_misses"));
   fs.op_cache_hit_rate = get("family_op_cache_hit_rate");
+  fs.op_cache_evictions =
+      static_cast<std::size_t>(get("family_op_cache_evictions"));
+  fs.op_cache_occupied =
+      static_cast<std::size_t>(get("family_op_cache_occupied"));
+  fs.op_cache_capacity =
+      static_cast<std::size_t>(get("family_op_cache_capacity"));
   fs.families_bytes = static_cast<std::size_t>(
       reg.value("mem." + p + "families_bytes").value_or(0.0));
+  if (auto zdd_nodes = reg.value(p + "zdd.nodes")) {
+    fs.backend = "zdd";
+    fs.zdd_nodes = static_cast<std::size_t>(*zdd_nodes);
+  } else {
+    fs.backend = "interned";
+  }
   return fs;
 }
 
 GpoResult run_gpo(const petri::PetriNet& net, FamilyKind kind,
                   const GpoOptions& options) {
+  // The ZDD store replaces the family storage of the explicit/interned
+  // kinds (kBdd is its own representation and keeps it). The shared manager
+  // is single-threaded, so this always takes the sequential engine.
+  if (options.family_store == FamilyStore::kZdd && kind != FamilyKind::kBdd) {
+    ZddFamily::Context ctx(net.transition_count());
+    return GpnAnalyzer<ZddFamily>(net, ctx, options).explore();
+  }
   if (kind == FamilyKind::kExplicit) {
     ExplicitFamily::Context ctx(net.transition_count());
     return GpnAnalyzer<ExplicitFamily>(net, ctx, options).explore();

@@ -4,6 +4,9 @@
 // the full API instantiates GpnAnalyzer directly.
 #pragma once
 
+#include <optional>
+#include <string_view>
+
 #include "core/family_interner.hpp"
 #include "core/gpn_analyzer.hpp"
 #include "core/gpo_result.hpp"
@@ -24,8 +27,12 @@ using InternedGpnState = GpnState<InternedFamily>;
 
 /// Runs the Section 3.3 analysis procedure on `net` and returns the result.
 /// With FamilyKind::kExplicit or kInterned, nets whose explicit r0 would
-/// exceed the enumeration cap throw std::length_error — switch to kBdd for
-/// those. kInterned additionally reports GpoResult::family_stats.
+/// exceed the enumeration cap throw std::length_error — switch to kBdd, or
+/// to GpoOptions::family_store == FamilyStore::kZdd (whose r0 is built
+/// compositionally), for those. kInterned and kZdd runs additionally report
+/// GpoResult::family_stats. FamilyStore::kZdd replaces the family storage of
+/// kExplicit/kInterned with the canonical ZDD backend (sequential only);
+/// kBdd ignores it.
 [[nodiscard]] GpoResult run_gpo(const petri::PetriNet& net,
                                 FamilyKind kind = FamilyKind::kExplicit,
                                 const GpoOptions& options = {});
@@ -40,6 +47,25 @@ using InternedGpnState = GpnState<InternedFamily>;
       return "interned";
   }
   return "unknown";
+}
+
+[[nodiscard]] inline const char* family_store_name(FamilyStore s) {
+  switch (s) {
+    case FamilyStore::kExplicit:
+      return "explicit";
+    case FamilyStore::kZdd:
+      return "zdd";
+  }
+  return "unknown";
+}
+
+/// Parses the --family-store / family-store= spellings; nullopt on anything
+/// else (callers own the error message).
+[[nodiscard]] inline std::optional<FamilyStore> parse_family_store(
+    std::string_view name) {
+  if (name == "explicit") return FamilyStore::kExplicit;
+  if (name == "zdd") return FamilyStore::kZdd;
+  return std::nullopt;
 }
 
 }  // namespace gpo::core

@@ -17,6 +17,12 @@
 
 namespace gpo::core {
 
+/// Storage backend for the canonical families of the reduced search.
+enum class FamilyStore {
+  kExplicit,  // sorted bitset vectors (hash-consed when FamilyKind::kInterned)
+  kZdd,       // one canonical zero-suppressed DD per family, shared nodes
+};
+
 struct GpoOptions {
   std::size_t max_states = std::numeric_limits<std::size_t>::max();
   double max_seconds = std::numeric_limits<double>::infinity();
@@ -68,6 +74,14 @@ struct GpoOptions {
   std::size_t num_threads = 1;
   /// Visited-set shards for the parallel engine; 0 = max(16, 4 * threads).
   std::size_t shard_count = 0;
+  /// Family storage backend (ignored by FamilyKind::kBdd, which is its own
+  /// representation). kZdd stores every canonical family as one
+  /// zero-suppressed decision diagram over the transition universe: shared
+  /// node structure typically cuts families_bytes by an order of magnitude
+  /// on scenario-heavy nets, interning is pointer equality and the op cache
+  /// a node-level computed table. The ZDD manager is single-threaded, so
+  /// kZdd always runs the sequential engine (num_threads is ignored).
+  FamilyStore family_store = FamilyStore::kExplicit;
 };
 
 /// Counters specific to the parallel GPN engine (threads == 0 when the
@@ -80,12 +94,17 @@ struct GpoParallelStats {
   double states_per_second = 0.0;
 };
 
-/// Counters of the hash-consed family store (FamilyKind::kInterned only;
-/// `available` stays false for the plain explicit/BDD representations).
+/// Counters of the canonical family store (FamilyKind::kInterned, or any
+/// kind run with FamilyStore::kZdd; `available` stays false for the plain
+/// explicit/BDD representations).
 struct GpoFamilyStats {
   bool available = false;
+  /// Which store produced the counters: "interned" (hash-consed explicit
+  /// arena) or "zdd" (canonical zero-suppressed DD manager).
+  std::string backend;
   /// Distinct canonical families in the interner arena (== peak: the arena
-  /// only grows during an analysis).
+  /// only grows during an analysis). Zero for the zdd backend, whose
+  /// families share nodes instead of occupying arena slots.
   std::size_t distinct_families = 0;
   /// Families presented for interning; dedup_ratio = intern_calls /
   /// distinct_families is how many deep constructions hash-consing saved.
@@ -94,8 +113,18 @@ struct GpoFamilyStats {
   std::size_t op_cache_hits = 0;
   std::size_t op_cache_misses = 0;
   double op_cache_hit_rate = 0.0;
-  /// Payload bytes of the canonical arena (member vectors + bitset words).
+  /// Direct-mapped op-cache capacity misses (colliding overwrites) and
+  /// occupancy, decomposing the miss stream into capacity vs. compulsory.
+  std::size_t op_cache_evictions = 0;
+  std::size_t op_cache_occupied = 0;
+  /// Total computed-table slots (summed over per-thread caches).
+  std::size_t op_cache_capacity = 0;
+  /// Payload bytes of the canonical store (explicit arena: member vectors +
+  /// bitset words; zdd: node arena + unique table + computed table).
   std::size_t families_bytes = 0;
+  /// Peak live ZDD nodes (zdd backend only; the DD analogue of
+  /// distinct_families).
+  std::size_t zdd_nodes = 0;
 };
 
 struct GpoResult {

@@ -49,9 +49,23 @@ ExplicitFamily ExplicitFamily::subtract(const ExplicitFamily& o) const {
 }
 
 ExplicitFamily ExplicitFamily::containing(petri::TransitionId t) const {
-  std::vector<TransitionSet> out;
+  // Hot path of m_enabled: probe one hoisted word+mask per member instead of
+  // a bounds-checked test(t), and count first so families with no matching
+  // member (the common early-exit in subsumption checks) allocate nothing
+  // and every other result is built with one exactly-sized pass. The
+  // filtered subsequence keeps the canonical sorted order.
+  const std::size_t wi = t / util::Bitset::kWordBits;
+  const util::Bitset::Word mask = util::Bitset::Word{1}
+                                  << (t % util::Bitset::kWordBits);
+  std::size_t matches = 0;
   for (const TransitionSet& s : sets_)
-    if (s.test(t)) out.push_back(s);
+    if ((s.word(wi) & mask) != 0) ++matches;
+  std::vector<TransitionSet> out;
+  if (matches != 0) {
+    out.reserve(matches);
+    for (const TransitionSet& s : sets_)
+      if ((s.word(wi) & mask) != 0) out.push_back(s);
+  }
   return ExplicitFamily(num_transitions_, std::move(out));
 }
 

@@ -1,0 +1,45 @@
+#include "core/zdd_family.hpp"
+
+#include <stdexcept>
+
+namespace gpo::core {
+
+ZddFamily ZddFamily::Context::single(const TransitionSet& set) const {
+  if (set.size() != num_transitions_)
+    throw std::invalid_argument("single: wrong universe size");
+  return ZddFamily(manager_.get(), num_transitions_, manager_->single(set));
+}
+
+ZddFamily ZddFamily::Context::from_sets(
+    const std::vector<TransitionSet>& sets) const {
+  for (const TransitionSet& s : sets)
+    if (s.size() != num_transitions_)
+      throw std::invalid_argument("from_sets: wrong universe size");
+  return ZddFamily(manager_.get(), num_transitions_,
+                   manager_->from_sets(sets));
+}
+
+ZddFamily ZddFamily::Context::initial_valid_sets(
+    const petri::ConflictInfo& conflicts) const {
+  zdd::ZddManager& mgr = *manager_;
+  // Start from {∅}: the product identity, and the correct r0 for a net with
+  // no transitions at all.
+  zdd::Ref r = zdd::kUnit;
+  const auto& components = conflicts.components();
+  for (std::size_t c = 0; c < components.size(); ++c) {
+    zdd::Ref factor = zdd::kEmpty;
+    for (const util::Bitset& mis : conflicts.maximal_independent_sets(c))
+      factor = mgr.unite(factor, mgr.single(mis));
+    r = mgr.product(r, factor);
+  }
+  return ZddFamily(manager_.get(), num_transitions_, r);
+}
+
+std::vector<TransitionSet> ZddFamily::members(std::size_t max) const {
+  std::vector<TransitionSet> out;
+  mgr_->enumerate(ref_, max,
+                  [&](const util::Bitset& set) { out.push_back(set); });
+  return out;
+}
+
+}  // namespace gpo::core

@@ -310,10 +310,15 @@ PetriNet make_random_net(const RandomNetParams& params) {
   std::vector<std::vector<PlaceId>> state(params.machines);
   for (std::size_t m = 0; m < params.machines; ++m) {
     state[m].resize(params.states_per_machine);
-    for (std::size_t j = 0; j < params.states_per_machine; ++j)
-      state[m][j] = b.add_place("m" + std::to_string(m) + "s" +
-                                    std::to_string(j),
-                                /*marked=*/j == 0);
+    for (std::size_t j = 0; j < params.states_per_machine; ++j) {
+      // Built with += (not operator+ chains): GCC 12's -Wrestrict fires a
+      // bogus overlap warning on `const char* + std::string&&` at -O3.
+      std::string name = "m";
+      name += std::to_string(m);
+      name += 's';
+      name += std::to_string(j);
+      state[m][j] = b.add_place(name, /*marked=*/j == 0);
+    }
   }
   auto rand_below = [&](std::size_t bound) {
     return std::uniform_int_distribution<std::size_t>(0, bound - 1)(rng);
@@ -333,7 +338,9 @@ PetriNet make_random_net(const RandomNetParams& params) {
     }
     // Skip degenerate duplicates (same pre twice etc. cannot occur since the
     // two machines are distinct; identical pre/post self-loops are fine).
-    TransitionId tr = b.add_transition("t" + std::to_string(t));
+    std::string tname = "t";
+    tname += std::to_string(t);
+    TransitionId tr = b.add_transition(tname);
     b.connect(tr, pre, post);
   }
   return b.build();

@@ -153,6 +153,7 @@ json::Value RunReport::build(const Tracer* tracer,
       j["model"] = job.model;
       j["verdict"] = job.verdict;
       j["winner"] = job.winner;
+      if (!job.family_store.empty()) j["family_store"] = job.family_store;
       if (!job.expect.empty()) {
         j["expect"] = job.expect;
         j["expect_matched"] = job.expect_matched;

@@ -101,6 +101,9 @@ class RunReport {
     std::string model;
     std::string verdict;  // deadlock | no-deadlock | undecided | error
     std::string winner;
+    /// Family-store backend requested for the job's gpo racers
+    /// ("explicit" | "zdd"); "" = manifest default, omitted from the JSON.
+    std::string family_store;
     std::string expect;  // expected verdict from the manifest; "" = none
     bool expect_matched = true;
     double seconds = 0;

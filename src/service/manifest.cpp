@@ -70,6 +70,11 @@ JobSpec parse_job_line(const std::string& line, std::size_t line_no) {
       } else if (key == "max-states") {
         spec.max_states = std::stoul(value);
         if (spec.max_states == 0) fail(line_no, "max-states must be positive");
+      } else if (key == "family-store") {
+        if (value != "explicit" && value != "zdd")
+          fail(line_no,
+               "family-store must be explicit or zdd, got '" + value + "'");
+        spec.family_store = value;
       } else if (key == "expect") {
         if (value != "deadlock" && value != "no-deadlock")
           fail(line_no, "expect must be deadlock or no-deadlock, got '" +

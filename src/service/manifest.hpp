@@ -3,12 +3,16 @@
 // A manifest is a line-oriented job list consumed by `julie batch` (and, one
 // line at a time, by the server's CHECK command). Grammar, one job per line:
 //
-//   <model> [engines=E1,E2,..] [max-seconds=S] [max-states=N] [expect=V]
+//   <model> [engines=E1,E2,..] [max-seconds=S] [max-states=N]
+//           [family-store=F] [expect=V]
 //
 //   <model>       a built-in spec ("nsdp:8", "fig7") or a .net/.pnml path
 //   engines=      portfolio to race; default gpo-intern,por,bdd,unfold
 //   max-seconds=  per-job wall budget shared by every racer (default 60)
 //   max-states=   state cap for the explicit racers
+//   family-store= "explicit" | "zdd" — family storage backend for the gpo
+//                 racers of this job (default explicit; zdd = canonical
+//                 zero-suppressed-DD store, lower memory, sequential)
 //   expect=       expected verdict ("deadlock" | "no-deadlock"); batch mode
 //                 exits nonzero when a job's verdict disagrees — this is the
 //                 column the CI portfolio-smoke job asserts against
@@ -46,6 +50,9 @@ struct JobSpec {
   std::vector<std::string> engines;  // empty = default_portfolio()
   double max_seconds = kDefaultJobSeconds;
   std::size_t max_states = std::numeric_limits<std::size_t>::max();
+  /// "" (engine default, i.e. explicit) | "explicit" | "zdd"; forwarded to
+  /// the gpo racers' GpoOptions::family_store.
+  std::string family_store;
   std::string expect;  // "" (none) | "deadlock" | "no-deadlock"
   std::size_t line = 0;  // 1-based manifest line, for diagnostics
 };

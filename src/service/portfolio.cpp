@@ -93,6 +93,8 @@ EngineOutcome run_gpo_kind(core::FamilyKind kind, const char* name,
   opt.stop_at_first_deadlock = true;
   opt.metrics = metrics;
   opt.metrics_prefix = std::string("engine.") + name + ".";
+  if (limits.family_store == "zdd")
+    opt.family_store = core::FamilyStore::kZdd;
   auto r = core::run_gpo(net, kind, opt);
   EngineOutcome out;
   out.states = static_cast<double>(r.state_count);

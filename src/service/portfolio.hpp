@@ -30,6 +30,10 @@ namespace gpo::service {
 struct RunLimits {
   std::size_t max_states = std::numeric_limits<std::size_t>::max();
   double max_seconds = std::numeric_limits<double>::infinity();
+  /// Family storage backend for the gpo racers: "" (default, explicit),
+  /// "explicit" or "zdd" (kept as the manifest's string so this header does
+  /// not depend on the core option enums; the gpo runners parse it).
+  std::string family_store;
 };
 
 /// Outcome of one racer. `conclusive` is the race-deciding bit: true iff the

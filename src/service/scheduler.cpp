@@ -150,6 +150,7 @@ struct PortfolioScheduler::Impl {
       RunLimits limits;
       limits.max_states = js.spec.max_states;
       limits.max_seconds = js.spec.max_seconds;
+      limits.family_store = js.spec.family_store;
       try {
         out = runner(*js.net, limits, &js.token, js.metrics.get());
       } catch (const std::exception& e) {
@@ -261,6 +262,7 @@ std::size_t PortfolioScheduler::submit(const JobSpec& spec) {
   }
   state->result.id = id;
   state->result.model = spec.model;
+  state->result.family_store = spec.family_store;
   state->result.expect = spec.expect;
 
   // Resolve the portfolio and load the net up front; failures become an
@@ -370,6 +372,7 @@ void add_jobs_to_report(obs::RunReport& report,
     job.model = r.model;
     job.verdict = r.verdict;
     job.winner = r.winner;
+    job.family_store = r.family_store;
     job.expect = r.expect;
     job.expect_matched = r.expect_matched;
     job.seconds = r.seconds;

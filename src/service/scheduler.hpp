@@ -51,6 +51,9 @@ struct JobResult {
   std::string verdict = "undecided";
   /// Racer whose conclusive answer became the verdict; empty otherwise.
   std::string winner;
+  /// Family-store backend the manifest requested for the gpo racers;
+  /// "" = default (explicit).
+  std::string family_store;
   std::string expect;          // from the manifest; "" = none
   bool expect_matched = true;  // false iff expect set and verdict differs
   std::string error;           // "error" verdicts: what went wrong

@@ -249,14 +249,21 @@ Prefix unfold(const PetriNet& net, const UnfoldOptions& options) {
 
 PetriNet prefix_as_net(const PetriNet& net, const Prefix& prefix) {
   petri::NetBuilder b(std::string(net.name()) + "_prefix");
-  for (std::size_t c = 0; c < prefix.conditions.size(); ++c)
-    b.add_place("c" + std::to_string(c) + "_" +
-                    net.place(prefix.conditions[c].place).name,
-                prefix.conditions[c].producer == kNoEvent);
+  // Names built with += (not operator+ chains): GCC 12's -Wrestrict fires a
+  // bogus overlap warning on `const char* + std::string&&` at -O3.
+  for (std::size_t c = 0; c < prefix.conditions.size(); ++c) {
+    std::string cname = "c";
+    cname += std::to_string(c);
+    cname += '_';
+    cname += net.place(prefix.conditions[c].place).name;
+    b.add_place(cname, prefix.conditions[c].producer == kNoEvent);
+  }
   for (std::size_t e = 0; e < prefix.events.size(); ++e) {
-    TransitionId t = b.add_transition(
-        "e" + std::to_string(e) + "_" +
-        net.transition(prefix.events[e].transition).name);
+    std::string ename = "e";
+    ename += std::to_string(e);
+    ename += '_';
+    ename += net.transition(prefix.events[e].transition).name;
+    TransitionId t = b.add_transition(ename);
     for (std::size_t c : prefix.events[e].preset)
       b.add_input_arc(static_cast<PlaceId>(c), t);
     for (std::size_t c : prefix.events[e].postset)

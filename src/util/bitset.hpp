@@ -69,6 +69,14 @@ class Bitset {
     return n;
   }
 
+  /// The wi-th storage word (bit i lives in word i / kWordBits at bit
+  /// i % kWordBits); bits past size() are zero by invariant. For word-level
+  /// filters over many same-universe bitsets (ExplicitFamily::containing),
+  /// where the caller hoists the word index and mask out of the loop
+  /// instead of re-deriving them in every test().
+  [[nodiscard]] Word word(std::size_t wi) const { return words_[wi]; }
+  [[nodiscard]] std::size_t word_count() const { return words_.size(); }
+
   [[nodiscard]] bool none() const {
     for (Word w : words_)
       if (w != 0) return false;

@@ -213,6 +213,58 @@ TEST(FamilyInternerProperty, RandomOpsMatchExplicitAndCacheIsInvisible) {
   }
 }
 
+TEST(FamilyInterner, OccupancyAndEvictionCountersTrackTheCache) {
+  // A 2-entry computed table: occupancy is bounded by the capacity, and a
+  // long random op stream must overwrite live slots — evictions are the
+  // signal the telemetry layer uses to flag an undersized cache.
+  FamilyInterner in(6, /*op_cache_entries=*/2);
+  std::mt19937 rng(11);
+  std::vector<FamilyId> pool{kEmptyFamilyId};
+  for (int step = 0; step < 200; ++step) {
+    TransitionSet s(6);
+    for (std::size_t k = 0; k < 6; ++k)
+      if (rng() % 2) s.set(k);
+    pool.push_back(in.single(s));
+    (void)in.unite(pool[rng() % pool.size()], pool[rng() % pool.size()]);
+  }
+  auto s = in.stats();
+  EXPECT_EQ(s.op_cache_capacity, 2u);
+  EXPECT_LE(s.op_cache_occupied, s.op_cache_capacity);
+  EXPECT_GT(s.op_cache_occupied, 0u);
+  EXPECT_GT(s.op_cache_evictions, 0u);
+  // Every store either filled an empty slot or displaced a different key.
+  EXPECT_EQ(s.op_cache_misses >= s.op_cache_occupied + s.op_cache_evictions,
+            true);
+
+  // A comfortably sized cache on the same stream evicts nothing.
+  FamilyInterner roomy(6, /*op_cache_entries=*/std::size_t{1} << 16);
+  std::mt19937 rng2(11);
+  std::vector<FamilyId> pool2{kEmptyFamilyId};
+  for (int step = 0; step < 200; ++step) {
+    TransitionSet s2(6);
+    for (std::size_t k = 0; k < 6; ++k)
+      if (rng2() % 2) s2.set(k);
+    pool2.push_back(roomy.single(s2));
+    (void)roomy.unite(pool2[rng2() % pool2.size()],
+                      pool2[rng2() % pool2.size()]);
+  }
+  EXPECT_EQ(roomy.stats().op_cache_evictions, 0u);
+  EXPECT_LE(roomy.stats().op_cache_occupied, roomy.stats().op_cache_capacity);
+}
+
+TEST(FamilyInterner, FillStatsSurfacesCacheGeometry) {
+  InternedFamily::Context ctx(4);
+  auto a = ctx.from_sets({ts(4, {0}), ts(4, {1})});
+  auto b = ctx.single(ts(4, {1}));
+  (void)a.unite(b);
+  GpoFamilyStats out;
+  ctx.fill_stats(out);
+  EXPECT_EQ(out.backend, "interned");
+  EXPECT_GT(out.op_cache_capacity, 0u);
+  EXPECT_LE(out.op_cache_occupied, out.op_cache_capacity);
+  EXPECT_EQ(out.op_cache_evictions, 0u);  // far from full on 3 ops
+}
+
 TEST(FamilyInterner, StatsCountersAreConsistent) {
   auto net = models::make_nsdp(3);
   petri::ConflictInfo ci(net);

@@ -5,6 +5,7 @@
 #include <random>
 
 #include "core/family_interner.hpp"
+#include "core/zdd_family.hpp"
 #include "models/models.hpp"
 #include "petri/conflict.hpp"
 
@@ -23,7 +24,7 @@ template <typename F>
 class FamilyTest : public ::testing::Test {};
 
 using FamilyTypes =
-    ::testing::Types<ExplicitFamily, BddFamily, InternedFamily>;
+    ::testing::Types<ExplicitFamily, BddFamily, InternedFamily, ZddFamily>;
 TYPED_TEST_SUITE(FamilyTest, FamilyTypes);
 
 TYPED_TEST(FamilyTest, EmptyFamily) {
@@ -150,6 +151,7 @@ TEST(FamilyEquivalence, RandomOperationSequences) {
     const std::size_t n = 6;
     ExplicitFamily::Context ectx(n);
     BddFamily::Context bctx(n);
+    ZddFamily::Context zctx(n);
 
     auto random_set = [&]() {
       TransitionSet s(n);
@@ -160,6 +162,7 @@ TEST(FamilyEquivalence, RandomOperationSequences) {
 
     std::vector<ExplicitFamily> epool{ectx.empty()};
     std::vector<BddFamily> bpool{bctx.empty()};
+    std::vector<ZddFamily> zpool{zctx.empty()};
     for (int step = 0; step < 60; ++step) {
       std::size_t i = rng() % epool.size();
       std::size_t j = rng() % epool.size();
@@ -168,41 +171,54 @@ TEST(FamilyEquivalence, RandomOperationSequences) {
           TransitionSet s = random_set();
           epool.push_back(ectx.single(s));
           bpool.push_back(bctx.single(s));
+          zpool.push_back(zctx.single(s));
           break;
         }
         case 1:
           epool.push_back(epool[i].unite(epool[j]));
           bpool.push_back(bpool[i].unite(bpool[j]));
+          zpool.push_back(zpool[i].unite(zpool[j]));
           break;
         case 2:
           epool.push_back(epool[i].intersect(epool[j]));
           bpool.push_back(bpool[i].intersect(bpool[j]));
+          zpool.push_back(zpool[i].intersect(zpool[j]));
           break;
         case 3:
           epool.push_back(epool[i].subtract(epool[j]));
           bpool.push_back(bpool[i].subtract(bpool[j]));
+          zpool.push_back(zpool[i].subtract(zpool[j]));
           break;
         default: {
           petri::TransitionId t = rng() % n;
           epool.push_back(epool[i].containing(t));
           bpool.push_back(bpool[i].containing(t));
+          zpool.push_back(zpool[i].containing(t));
           break;
         }
       }
       const ExplicitFamily& e = epool.back();
       const BddFamily& b = bpool.back();
+      const ZddFamily& z = zpool.back();
       ASSERT_EQ(e.count(), b.count()) << "trial " << trial << " step " << step;
+      ASSERT_EQ(e.count(), z.count()) << "trial " << trial << " step " << step;
       ASSERT_EQ(e.is_empty(), b.is_empty());
+      ASSERT_EQ(e.is_empty(), z.is_empty());
       auto em = e.members();
       auto bm = b.members();
+      auto zm = z.members();
       std::sort(bm.begin(), bm.end());
+      std::sort(zm.begin(), zm.end());
       ASSERT_EQ(em, bm) << "trial " << trial << " step " << step;
+      ASSERT_EQ(em, zm) << "trial " << trial << " step " << step;
     }
 
     // Equality semantics agree pairwise across the pools.
     for (std::size_t i = 0; i < epool.size(); ++i)
-      for (std::size_t j = 0; j < epool.size(); ++j)
+      for (std::size_t j = 0; j < epool.size(); ++j) {
         ASSERT_EQ(epool[i] == epool[j], bpool[i] == bpool[j]);
+        ASSERT_EQ(epool[i] == epool[j], zpool[i] == zpool[j]);
+      }
   }
 }
 
@@ -215,13 +231,19 @@ TEST(FamilyEquivalence, InitialValidSetsMatchOnModels) {
     petri::ConflictInfo ci(net);
     ExplicitFamily::Context ectx(net.transition_count());
     BddFamily::Context bctx(net.transition_count());
+    ZddFamily::Context zctx(net.transition_count());
     auto er0 = ectx.initial_valid_sets(ci);
     auto br0 = bctx.initial_valid_sets(ci);
+    auto zr0 = zctx.initial_valid_sets(ci);
     EXPECT_EQ(er0.count(), br0.count()) << net.name();
+    EXPECT_EQ(er0.count(), zr0.count()) << net.name();
     auto em = er0.members();
     auto bm = br0.members();
+    auto zm = zr0.members();
     std::sort(bm.begin(), bm.end());
+    std::sort(zm.begin(), zm.end());
     EXPECT_EQ(em, bm) << net.name();
+    EXPECT_EQ(em, zm) << net.name();
   }
 }
 
@@ -230,6 +252,37 @@ TEST(FamilyContext, UniverseMismatchThrows) {
   EXPECT_THROW((void)ectx.single(ts(5, {0})), std::invalid_argument);
   BddFamily::Context bctx(4);
   EXPECT_THROW((void)bctx.single(ts(5, {0})), std::invalid_argument);
+  ZddFamily::Context zctx(4);
+  EXPECT_THROW((void)zctx.single(ts(5, {0})), std::invalid_argument);
+}
+
+TEST(ExplicitFamilyContaining, MatchesBruteForceOnRandomFamilies) {
+  // Regression for the word/mask fast path in ExplicitFamily::containing:
+  // the hoisted single-word probe must select exactly the members a per-bit
+  // test(t) loop selects, across word boundaries (universe > 64).
+  std::mt19937 rng(4242);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 3 + rng() % 140;  // spans 1..3 storage words
+    ExplicitFamily::Context ctx(n);
+    std::vector<TransitionSet> sets;
+    const std::size_t members = rng() % 30;
+    for (std::size_t k = 0; k < members; ++k) {
+      TransitionSet s(n);
+      for (std::size_t i = 0; i < n; ++i)
+        if (rng() % 4 == 0) s.set(i);
+      sets.push_back(s);
+    }
+    ExplicitFamily f = ctx.from_sets(sets);
+    for (int probe = 0; probe < 8; ++probe) {
+      const petri::TransitionId t =
+          static_cast<petri::TransitionId>(rng() % n);
+      std::vector<TransitionSet> expect;
+      for (const TransitionSet& s : f.members())
+        if (s.test(t)) expect.push_back(s);
+      EXPECT_EQ(f.containing(t).members(), expect)
+          << "trial " << trial << " t=" << t;
+    }
+  }
 }
 
 }  // namespace

@@ -22,7 +22,7 @@ TEST(Manifest, ModelOnlyLineGetsDefaults) {
 TEST(Manifest, AllKeysParse) {
   JobSpec job = parse_job_line(
       "examples/nets/fig7.net engines=gpo-intern,por max-seconds=2.5 "
-      "max-states=1000 expect=deadlock",
+      "max-states=1000 family-store=zdd expect=deadlock",
       7);
   EXPECT_EQ(job.model, "examples/nets/fig7.net");
   ASSERT_EQ(job.engines.size(), 2u);
@@ -30,8 +30,18 @@ TEST(Manifest, AllKeysParse) {
   EXPECT_EQ(job.engines[1], "por");
   EXPECT_DOUBLE_EQ(job.max_seconds, 2.5);
   EXPECT_EQ(job.max_states, 1000u);
+  EXPECT_EQ(job.family_store, "zdd");
   EXPECT_EQ(job.expect, "deadlock");
   EXPECT_EQ(job.line, 7u);
+}
+
+TEST(Manifest, FamilyStoreDefaultsEmptyAndValidates) {
+  EXPECT_TRUE(parse_job_line("nsdp:8").family_store.empty());
+  EXPECT_EQ(parse_job_line("nsdp:8 family-store=explicit").family_store,
+            "explicit");
+  EXPECT_EQ(parse_job_line("nsdp:8 family-store=zdd").family_store, "zdd");
+  EXPECT_THROW((void)parse_job_line("nsdp:8 family-store=bdd"), ManifestError);
+  EXPECT_THROW((void)parse_job_line("nsdp:8 family-store="), ManifestError);
 }
 
 TEST(Manifest, CommentsAndBlankLinesAreSkipped) {
