@@ -3,6 +3,7 @@
 
 Usage: validate_report.py REPORT.json [SCHEMA.json]
        validate_report.py --bench BENCH_gpo.json
+       validate_report.py --events EVENTS.jsonl
 
 Implements the same JSON-Schema subset as the C++ validator
 (src/obs/json.hpp: obs::json::validate): type, required, properties,
@@ -17,6 +18,13 @@ under NSDP6_ZDD_BYTES_MAX. The gate is the regression tripwire for the
 ZDD family store — measured ~2.6 MB (of which ~1 MB is the fixed
 computed-table allocation), asserted at 3x headroom while the explicit
 store needs ~23 MB on the same model.
+
+--events validates a JSONL event log (`julie --events`, `julie batch
+--events`, manifest `events=`): every line parses as a JSON object with
+a non-negative integer ts_us that never decreases in file order (the
+EventLog stamps under the push mutex, so file order IS timestamp
+order), a known event name, an integer job id on job-lifecycle records,
+and a name on span records.
 """
 import json
 import sys
@@ -101,6 +109,70 @@ def main_bench(path):
     return 0
 
 
+# Event names the scheduler / tracer sink / EventLog itself can emit.
+JOB_EVENTS = {"submitted", "started", "racer-start", "first-answer",
+              "cancelled", "finished"}
+SPAN_EVENTS = {"span-open", "span-close"}
+KNOWN_EVENTS = JOB_EVENTS | SPAN_EVENTS | {"dropped"}
+
+
+def validate_events(lines):
+    """Returns a list of error strings for a JSONL event log."""
+    errors = []
+    last_ts = -1
+    for i, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            errors.append(f"line {i}: empty line")
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            errors.append(f"line {i}: not JSON ({e})")
+            continue
+        if not isinstance(rec, dict):
+            errors.append(f"line {i}: expected an object")
+            continue
+        ts = rec.get("ts_us")
+        if not isinstance(ts, int) or isinstance(ts, bool) or ts < 0:
+            errors.append(f"line {i}: ts_us {ts!r} is not a non-negative int")
+        elif ts < last_ts:
+            errors.append(f"line {i}: ts_us {ts} < previous {last_ts} "
+                          f"(log must be monotonic in file order)")
+        else:
+            last_ts = ts
+        ev = rec.get("event")
+        if ev not in KNOWN_EVENTS:
+            errors.append(f"line {i}: unknown event {ev!r}")
+            continue
+        if ev in JOB_EVENTS:
+            job = rec.get("job")
+            if not isinstance(job, int) or isinstance(job, bool) or job < 0:
+                errors.append(f"line {i}: {ev}: 'job' {job!r} is not a "
+                              f"non-negative int")
+        if ev in SPAN_EVENTS and not isinstance(rec.get("name"), str):
+            errors.append(f"line {i}: {ev}: missing string 'name'")
+    return errors
+
+
+def main_events(path):
+    try:
+        lines = Path(path).read_text().splitlines()
+    except OSError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    if not lines:
+        print(f"error: {path} is empty", file=sys.stderr)
+        return 1
+    errors = validate_events(lines)
+    if errors:
+        for e in errors:
+            print(f"EVENT-LOG VIOLATION {e}", file=sys.stderr)
+        return 1
+    print(f"{path}: valid ({len(lines)} events, timestamps monotonic)")
+    return 0
+
+
 def type_ok(schema_type, doc):
     if schema_type == "object":
         return isinstance(doc, dict)
@@ -166,6 +238,8 @@ def validate(schema, doc, root, path="$"):
 def main(argv):
     if len(argv) == 3 and argv[1] == "--bench":
         return main_bench(argv[2])
+    if len(argv) == 3 and argv[1] == "--events":
+        return main_events(argv[2])
     if len(argv) < 2 or len(argv) > 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2

@@ -20,6 +20,7 @@
 //     instead of exhausting memory on a pathological variable order.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
@@ -145,10 +146,12 @@ class ComputedCache {
     const Entry& e = slots_[index(op, a, b)];
     if (e.a == a && e.b == b && e.op == op) {
       ++hits_;
+      ++op_hits_[op & (kOpKinds - 1)];
       out = e.result;
       return true;
     }
     ++misses_;
+    ++op_misses_[op & (kOpKinds - 1)];
     return false;
   }
 
@@ -161,9 +164,22 @@ class ComputedCache {
     e = {a, b, result, op};
   }
 
+  /// Distinct op kinds the per-op breakdown tracks; op codes are folded
+  /// into this range (managers use small contiguous enums, so in practice
+  /// the mapping is the identity).
+  static constexpr std::size_t kOpKinds = 8;
+
   [[nodiscard]] std::size_t entries() const { return slots_.size(); }
   [[nodiscard]] std::size_t hits() const { return hits_; }
   [[nodiscard]] std::size_t misses() const { return misses_; }
+  /// Per-op-kind decomposition of the hit/miss streams (op folded mod
+  /// kOpKinds); sums to hits()/misses().
+  [[nodiscard]] std::size_t op_hits(std::uint8_t op) const {
+    return op_hits_[op & (kOpKinds - 1)];
+  }
+  [[nodiscard]] std::size_t op_misses(std::uint8_t op) const {
+    return op_misses_[op & (kOpKinds - 1)];
+  }
   [[nodiscard]] std::size_t evictions() const { return evictions_; }
   [[nodiscard]] std::size_t occupied() const { return occupied_; }
   [[nodiscard]] std::size_t memory_bytes() const {
@@ -190,6 +206,8 @@ class ComputedCache {
   std::size_t misses_ = 0;
   std::size_t evictions_ = 0;
   std::size_t occupied_ = 0;
+  std::array<std::size_t, kOpKinds> op_hits_{};
+  std::array<std::size_t, kOpKinds> op_misses_{};
 };
 
 }  // namespace gpo::dd

@@ -19,6 +19,7 @@
 // into a clean DdLimitExceeded.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -42,6 +43,12 @@ using ZddLimitExceeded = dd::DdLimitExceeded;
 
 /// Counters for the telemetry layer (zdd.* gauges of the run report).
 struct ZddStats {
+  /// Op kinds in the per-op cache breakdown (index == ZddManager's Op enum).
+  static constexpr std::size_t kOpCount = 5;
+  /// Registry-friendly op names, parallel to the per-op arrays.
+  static constexpr const char* kOpNames[kOpCount] = {
+      "unite", "intersect", "subtract", "containing", "product"};
+
   std::size_t nodes = 0;  ///< arena size == peak live nodes (no GC)
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
@@ -49,6 +56,10 @@ struct ZddStats {
   std::size_t cache_occupied = 0;
   std::size_t cache_entries = 0;
   std::size_t memory_bytes = 0;  ///< arena + unique table + computed table
+  /// Per-op decomposition of the hit/miss streams; sums to
+  /// cache_hits/cache_misses.
+  std::array<std::size_t, kOpCount> op_hits{};
+  std::array<std::size_t, kOpCount> op_misses{};
 };
 
 class ZddManager {
@@ -116,6 +127,10 @@ class ZddManager {
     s.cache_occupied = cache_.occupied();
     s.cache_entries = cache_.entries();
     s.memory_bytes = table_.memory_bytes() + cache_.memory_bytes();
+    for (std::size_t op = 0; op < ZddStats::kOpCount; ++op) {
+      s.op_hits[op] = cache_.op_hits(static_cast<std::uint8_t>(op));
+      s.op_misses[op] = cache_.op_misses(static_cast<std::uint8_t>(op));
+    }
     return s;
   }
 

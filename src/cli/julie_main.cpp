@@ -16,6 +16,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -26,8 +27,10 @@
 #include "mc/ctl.hpp"
 #include "models/models.hpp"
 #include "obs/diag.hpp"
+#include "obs/event_log.hpp"
 #include "obs/heartbeat.hpp"
 #include "obs/metrics.hpp"
+#include "obs/postmortem.hpp"
 #include "obs/report.hpp"
 #include "obs/span.hpp"
 #include "parser/net_format.hpp"
@@ -84,6 +87,9 @@ int usage(const char* argv0) {
       << "                     interner occupancy, current phase\n"
       << "  --report FILE      write a machine-readable JSON run report\n"
       << "                     (schema: bench/report_schema.json)\n"
+      << "  --events FILE      write a JSONL event log (span open/close\n"
+      << "                     records with monotonic timestamps; validate\n"
+      << "                     with bench/validate_report.py --events)\n"
       << "  --trace FILE       write the phase tree as chrome://tracing JSON\n"
       << "  --dot FILE         write the net structure as Graphviz DOT\n"
       << "  --write-net FILE   serialize the net in .net format\n"
@@ -182,6 +188,10 @@ void print_engine_stats(const gpo::obs::MetricsRegistry& reg,
       case gpo::obs::MetricKind::kTimer:
         line << s.value << 's';
         break;
+      case gpo::obs::MetricKind::kHistogram:
+        line << "{n=" << s.count << " p50=" << s.p50 << "s p90=" << s.p90
+             << "s p99=" << s.p99 << "s max=" << s.max << "s}";
+        break;
     }
   }
   gpo::obs::diag_line(line.str());
@@ -233,7 +243,7 @@ int main(int argc, char** argv) {
   bool want_stats = false;
   bool quiet = false;
   double progress_secs = 0;  // 0 = no heartbeat
-  std::string report_file, trace_file;
+  std::string report_file, trace_file, events_file;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -286,6 +296,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--report") {
       report_file = next();
+    } else if (arg == "--events") {
+      events_file = next();
     } else if (arg == "--trace") {
       trace_file = next();
     } else if (arg == "--dot") {
@@ -312,9 +324,31 @@ int main(int argc, char** argv) {
   gpo::obs::MetricsRegistry registry;
   gpo::obs::Tracer tracer;
   const bool telemetry = want_stats || progress_secs > 0 ||
-                         !report_file.empty() || !trace_file.empty();
+                         !report_file.empty() || !trace_file.empty() ||
+                         !events_file.empty();
   gpo::obs::MetricsRegistry* reg = telemetry ? &registry : nullptr;
   gpo::obs::Tracer* tr = telemetry ? &tracer : nullptr;
+
+  // Crash forensics: on a fatal signal or std::terminate, dump the live
+  // span stack and watched metrics to stderr (async-signal-safe raw path;
+  // see obs/postmortem.hpp). Installed unconditionally — it costs nothing
+  // until something dies.
+  gpo::obs::Postmortem::install();
+  gpo::obs::Postmortem::set_context(tr, reg);
+
+  // Structured JSONL event log: span open/close records flow through the
+  // tracer's event sink. Opened before any Span is created so the log sees
+  // the whole run.
+  std::unique_ptr<gpo::obs::EventLog> events;
+  if (!events_file.empty()) {
+    try {
+      events = std::make_unique<gpo::obs::EventLog>(events_file);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
+    tracer.set_event_sink(events.get());
+  }
 
   gpo::obs::RunReport report("julie");
   {
@@ -325,6 +359,7 @@ int main(int argc, char** argv) {
     }
     report.set_command(cmd);
   }
+  if (!events_file.empty()) report.set_events_path(events_file);
 
   std::optional<gpo::obs::Heartbeat> heartbeat;
   if (progress_secs > 0) {
@@ -336,6 +371,11 @@ int main(int argc, char** argv) {
   // analysis ran.
   auto finish = [&](int rc) {
     if (heartbeat) heartbeat->stop();
+    if (events != nullptr) {
+      tracer.set_event_sink(nullptr);  // no span may outlive the closed log
+      events->close();
+      if (!quiet) std::cout << "wrote " << events_file << "\n";
+    }
     if (!report_file.empty()) {
       std::ofstream out(report_file);
       if (!out) {
@@ -575,6 +615,13 @@ int main(int argc, char** argv) {
     if (e != "unfold") {
       any_deadlock |= row.deadlock && !row.aborted;
       print_row(row);
+    }
+    // A limit abort is the "soft crash" case: leave the same forensic
+    // breadcrumbs (phase, metrics) the fatal-signal handler would.
+    if (row.aborted && telemetry) {
+      std::string reason = "limit hit";
+      if (!row.aborted_phase.empty()) reason += " in " + row.aborted_phase;
+      gpo::obs::Postmortem::dump(reason);
     }
     if (want_stats) print_engine_stats(registry, e, prefix);
     gpo::obs::RunReport::EngineRun er;

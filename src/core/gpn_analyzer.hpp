@@ -608,10 +608,13 @@ GpoResult GpnAnalyzer<Family>::explore() const {
   obs::Gauge* live_frontier = nullptr;
   obs::Gauge* live_families = nullptr;
   obs::Timer* mcs_timer = nullptr;
+  obs::Histogram* expand_hist = nullptr;
   if (options_.metrics != nullptr) {
     mcs_timer =
         &options_.metrics->timer(options_.metrics_prefix + "mcs_seconds");
     if constexpr (obs::kHotCountersEnabled) {
+      expand_hist = &options_.metrics->histogram(options_.metrics_prefix +
+                                                 "expand_seconds");
       live_states = &options_.metrics->counter("progress.states");
       live_frontier = &options_.metrics->gauge("progress.frontier");
       if constexpr (requires(Context& c, GpoFamilyStats& st) {
@@ -699,6 +702,9 @@ GpoResult GpnAnalyzer<Family>::explore() const {
       }
       std::size_t si = frontier.front();
       frontier.pop_front();
+      // Per-state expansion latency (deadlock check + MCS planning +
+      // successor emission); covers every exit from this iteration.
+      obs::ScopedHistogramTimer state_timer(expand_hist);
       const State s = states[si];  // copy: `states` may grow below
 
       // Deadlock check (before expansion, as in the paper's reach()).

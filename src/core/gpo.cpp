@@ -49,6 +49,10 @@ void publish_gpo_stats(obs::MetricsRegistry& reg, std::string_view prefix,
       reg.counter(p + "zdd.cache_hits").store(fs.op_cache_hits);
       reg.counter(p + "zdd.cache_misses").store(fs.op_cache_misses);
       reg.counter(p + "zdd.cache_evictions").store(fs.op_cache_evictions);
+      for (const GpoFamilyStats::OpCacheCount& oc : fs.zdd_op_counts) {
+        reg.counter(p + "zdd.cache." + oc.op + ".hits").store(oc.hits);
+        reg.counter(p + "zdd.cache." + oc.op + ".misses").store(oc.misses);
+      }
       reg.gauge("mem." + p + "zdd.bytes")
           .set(static_cast<double>(fs.families_bytes));
     }
@@ -83,6 +87,15 @@ GpoFamilyStats family_stats_from_registry(const obs::MetricsRegistry& reg,
   if (auto zdd_nodes = reg.value(p + "zdd.nodes")) {
     fs.backend = "zdd";
     fs.zdd_nodes = static_cast<std::size_t>(*zdd_nodes);
+    for (const char* op : zdd::ZddStats::kOpNames) {
+      GpoFamilyStats::OpCacheCount oc;
+      oc.op = op;
+      oc.hits = static_cast<std::size_t>(
+          get(std::string("zdd.cache.") + op + ".hits"));
+      oc.misses = static_cast<std::size_t>(
+          get(std::string("zdd.cache.") + op + ".misses"));
+      fs.zdd_op_counts.push_back(std::move(oc));
+    }
   } else {
     fs.backend = "interned";
   }

@@ -125,6 +125,14 @@ struct GpoFamilyStats {
   /// Peak live ZDD nodes (zdd backend only; the DD analogue of
   /// distinct_families).
   std::size_t zdd_nodes = 0;
+  /// Per-op-kind computed-cache breakdown (zdd backend only): one entry per
+  /// family-algebra op, published as zdd.cache.<op>.{hits,misses}.
+  struct OpCacheCount {
+    std::string op;
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+  };
+  std::vector<OpCacheCount> zdd_op_counts;
 };
 
 struct GpoResult {

@@ -85,6 +85,10 @@ class ZddFamily {
       out.op_cache_capacity = s.cache_entries;
       out.families_bytes = s.memory_bytes;
       out.zdd_nodes = s.nodes;
+      out.zdd_op_counts.clear();
+      for (std::size_t op = 0; op < zdd::ZddStats::kOpCount; ++op)
+        out.zdd_op_counts.push_back(
+            {zdd::ZddStats::kOpNames[op], s.op_hits[op], s.op_misses[op]});
     }
 
    private:

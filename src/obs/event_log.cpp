@@ -1,0 +1,115 @@
+#include "obs/event_log.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+namespace gpo::obs {
+
+EventLog::EventLog(const std::string& path, std::size_t capacity)
+    : path_(path),
+      owned_out_(std::make_unique<std::ofstream>(path)),
+      out_(owned_out_.get()),
+      epoch_(std::chrono::steady_clock::now()),
+      capacity_(capacity) {
+  if (!static_cast<std::ofstream&>(*owned_out_))
+    throw std::runtime_error("cannot open event log '" + path + "'");
+  flusher_ = std::thread([this] { flusher_main(); });
+}
+
+EventLog::EventLog(std::ostream& out, std::size_t capacity)
+    : out_(&out),
+      epoch_(std::chrono::steady_clock::now()),
+      capacity_(capacity) {
+  flusher_ = std::thread([this] { flusher_main(); });
+}
+
+EventLog::~EventLog() { close(); }
+
+void EventLog::log(std::string_view event, json::Value fields) {
+  // Build the record with ts_us/event leading, then append the caller's
+  // fields in order. The timestamp is taken under the mutex so lines are
+  // pushed in non-decreasing ts_us order.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return;
+  json::Value rec = json::Value::object();
+  rec["ts_us"] = now_us();
+  rec["event"] = std::string(event);
+  if (fields.is_object())
+    for (const json::Value::Member& m : fields.members())
+      rec[m.first] = m.second;
+  if (ring_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  ring_.push_back(rec.dump_string(0));
+  cv_.notify_one();
+}
+
+void EventLog::job_event(std::string_view event, long long job,
+                         json::Value extra) {
+  json::Value fields = json::Value::object();
+  fields["job"] = job;
+  if (extra.is_object())
+    for (const json::Value::Member& m : extra.members())
+      fields[m.first] = m.second;
+  log(event, std::move(fields));
+}
+
+void EventLog::span_event(bool open, const std::string& name,
+                          std::int64_t trace_us, std::int64_t dur_us) {
+  json::Value fields = json::Value::object();
+  fields["name"] = name;
+  fields["trace_us"] = trace_us;
+  if (!open) fields["dur_us"] = dur_us;
+  log(open ? "span-open" : "span-close", std::move(fields));
+}
+
+std::uint64_t EventLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void EventLog::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+    if (dropped_ > 0) {
+      json::Value rec = json::Value::object();
+      rec["ts_us"] = now_us();
+      rec["event"] = "dropped";
+      rec["count"] = static_cast<long long>(dropped_);
+      ring_.push_back(rec.dump_string(0));
+    }
+    stop_ = true;
+    cv_.notify_one();
+  }
+  if (flusher_.joinable()) flusher_.join();
+  // Flusher has exited; drain whatever raced in before closed_ was set.
+  std::deque<std::string> rest;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rest.swap(ring_);
+  }
+  for (const std::string& line : rest) *out_ << line << '\n';
+  out_->flush();
+}
+
+void EventLog::flusher_main() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait_for(lock, std::chrono::milliseconds(50),
+                 [this] { return stop_ || !ring_.empty(); });
+    std::deque<std::string> batch;
+    batch.swap(ring_);
+    const bool done = stop_;
+    lock.unlock();
+    for (const std::string& line : batch) *out_ << line << '\n';
+    if (!batch.empty()) out_->flush();
+    if (done) return;
+    lock.lock();
+  }
+}
+
+}  // namespace gpo::obs

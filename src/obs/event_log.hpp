@@ -1,0 +1,108 @@
+// Structured JSONL event log: ring-buffered, background-flushed records of
+// job lifecycle transitions and span open/close (`julie --events FILE`,
+// `events=` manifest directive).
+//
+// Design:
+//   * Producers (scheduler racers, the tracer's SpanEventSink hook) format
+//     the complete one-line JSON record immediately, under a short mutex
+//     that also stamps the monotonic `ts_us` timestamp — so timestamps are
+//     non-decreasing in file order by construction.
+//   * Records land in a bounded deque ring (default 8192 lines). A
+//     background flusher thread drains it to the file every ~50 ms (or when
+//     woken), so producers never block on disk I/O.
+//   * Overflow policy: drop-newest. A dropped counter is kept and a final
+//     {"event":"dropped","count":N} record is appended at close, so a
+//     truncated log is detectable rather than silently misleading.
+//   * close()/destruction stops the flusher, drains everything, and flushes
+//     the stream. After close() further events are ignored.
+//
+// Every record is a single line of compact JSON with at least
+//   {"ts_us": <int>, "event": "<name>"}
+// Job lifecycle records add "job" (and event-specific fields: "model",
+// "engine", "verdict", "seconds"); span records mirror the tracer:
+//   {"ts_us":.., "event":"span-open"|"span-close", "name":..,
+//    "trace_us":.., "dur_us":..}
+// where `trace_us` is the span's start on the --trace clock, so the event
+// stream joins chrome-trace output. `ts_us` is measured from the EventLog's
+// own steady-clock epoch (construction time).
+#pragma once
+
+#include <condition_variable>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+
+#include "obs/json.hpp"
+#include "obs/span.hpp"
+
+namespace gpo::obs {
+
+class EventLog : public SpanEventSink {
+ public:
+  /// Opens `path` for writing (truncates). Throws std::runtime_error when
+  /// the file cannot be opened. `capacity` bounds the in-memory ring.
+  explicit EventLog(const std::string& path, std::size_t capacity = 8192);
+  /// Logs into a caller-owned stream (tests). The stream must outlive the
+  /// log; writes happen on the flusher thread.
+  explicit EventLog(std::ostream& out, std::size_t capacity = 8192);
+  ~EventLog() override;
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Appends one record. `fields` must be a JSON object; "ts_us" and
+  /// "event" are prepended by the log. Cheap: one compact dump + a deque
+  /// push under the mutex, no I/O.
+  void log(std::string_view event, json::Value fields);
+
+  /// Job lifecycle convenience: {"ts_us":.., "event":<event>, "job":<id>,
+  /// ...extra}.
+  void job_event(std::string_view event, long long job, json::Value extra);
+  void job_event(std::string_view event, long long job) {
+    job_event(event, job, json::Value::object());
+  }
+
+  /// SpanEventSink: called by the tracer outside its own mutex.
+  void span_event(bool open, const std::string& name, std::int64_t trace_us,
+                  std::int64_t dur_us) override;
+
+  /// Records dropped so far due to ring overflow.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Stops the flusher, drains the ring (appending the final "dropped"
+  /// record when anything was lost) and flushes the stream. Idempotent;
+  /// the destructor calls it.
+  void close();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  void flusher_main();
+
+  [[nodiscard]] std::int64_t now_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  std::string path_;
+  std::unique_ptr<std::ostream> owned_out_;
+  std::ostream* out_;  // owned_out_.get() or the caller's stream
+  std::chrono::steady_clock::time_point epoch_;
+  std::size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::string> ring_;
+  std::uint64_t dropped_ = 0;
+  bool stop_ = false;
+  bool closed_ = false;
+  std::thread flusher_;
+};
+
+}  // namespace gpo::obs

@@ -100,6 +100,13 @@ void Heartbeat::emit_line() {
     std::snprintf(line, sizeof(line), " families=%.0f", fam);
     text += line;
   }
+  // Scheduler queue depth, when running under `julie batch`/`serve`. Looked
+  // up by name (not registered here): its presence means a scheduler is
+  // publishing into this registry.
+  if (auto q = reg_.value("service.queue.depth")) {
+    std::snprintf(line, sizeof(line), " queue=%.0f", *q);
+    text += line;
+  }
   if (tracer_ != nullptr) {
     std::string phase = tracer_->current_path();
     if (!phase.empty()) text += " phase=" + phase;

@@ -1,0 +1,180 @@
+// Log-bucketed atomic histogram (HDR-style): fixed storage, lock-free
+// relaxed increments, mergeable snapshots with percentile estimation.
+//
+// Bucketing scheme (log-linear, the classic HdrHistogram layout):
+//   * values 0..7 get one exact bucket each (the "linear" region);
+//   * every power-of-two octave above that is split into kSubBuckets = 8
+//     equal sub-buckets, so the relative quantization error is bounded by
+//     1/kSubBuckets = 12.5% at every magnitude;
+//   * 64-bit values therefore need (64 - kSubBits) * 8 + 8 = 496 buckets —
+//     ~4 KB of atomics per histogram, allocated inline, never resized.
+//
+// Memory ordering: record() is a single relaxed fetch_add on one bucket
+// (plus relaxed fetch_adds on the count/sum scalars and a relaxed CAS loop
+// for the max). There are no locks and no release/acquire edges on the hot
+// path — exactly like obs::Counter, totals are exact once writers quiesce
+// (thread join), approximate while concurrent, which is all a latency
+// distribution needs. snapshot() reads every bucket relaxed; it may observe
+// a torn view of a concurrent record (count updated, bucket not yet), so
+// snapshot totals are internally consistent only after quiescence — the
+// percentile estimates are monotone regardless.
+//
+// Units: the histogram itself is unit-agnostic over uint64. By convention
+// every *registry* histogram records NANOSECONDS (record_seconds() converts)
+// and the snapshot/report layer divides by 1e9, so serialized percentiles
+// are seconds. See MetricsRegistry::histogram().
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+
+namespace gpo::obs {
+
+class Histogram {
+ public:
+  static constexpr unsigned kSubBits = 3;  // 8 sub-buckets per octave
+  static constexpr std::uint64_t kSubBuckets = std::uint64_t{1} << kSubBits;
+  static constexpr std::size_t kBucketCount =
+      (64 - kSubBits) * kSubBuckets + kSubBuckets;  // 496
+
+  /// Bucket holding `v`. Exact for v < 8; above that the bucket spans
+  /// [lower, lower * (1 + 1/8)) at every magnitude.
+  [[nodiscard]] static constexpr std::size_t bucket_index(std::uint64_t v) {
+    if (v < kSubBuckets) return static_cast<std::size_t>(v);
+    const unsigned top = 63 - static_cast<unsigned>(std::countl_zero(v));
+    const unsigned shift = top - kSubBits;
+    return ((static_cast<std::size_t>(top - kSubBits) + 1) << kSubBits) |
+           static_cast<std::size_t>((v >> shift) & (kSubBuckets - 1));
+  }
+
+  /// Smallest value mapping to bucket `idx` (inverse of bucket_index).
+  [[nodiscard]] static constexpr std::uint64_t bucket_lower(std::size_t idx) {
+    if (idx < kSubBuckets) return idx;
+    const std::uint64_t scale = idx >> kSubBits;  // >= 1
+    const std::uint64_t sub = idx & (kSubBuckets - 1);
+    return (kSubBuckets + sub) << (scale - 1);
+  }
+
+  /// One past the largest value in bucket `idx` (saturates at UINT64_MAX).
+  [[nodiscard]] static constexpr std::uint64_t bucket_upper(std::size_t idx) {
+    return idx + 1 < kBucketCount ? bucket_lower(idx + 1)
+                                  : ~std::uint64_t{0};
+  }
+
+  /// Hot path: one relaxed fetch_add on the bucket plus the count/sum
+  /// scalars and a relaxed CAS for the running max. No locks anywhere.
+  void record(std::uint64_t v) {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (prev < v && !max_.compare_exchange_weak(
+                           prev, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Duration convenience: records nanoseconds (the registry convention).
+  void record_seconds(double s) {
+    record(s <= 0 ? 0 : static_cast<std::uint64_t>(s * 1e9));
+  }
+
+  /// A point-in-time copy of the distribution. Plain data: mergeable
+  /// (operator+= adds bucket-wise) and cheap to pass around, so per-thread
+  /// histograms can be aggregated at join time.
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+    std::array<std::uint64_t, kBucketCount> buckets{};
+
+    /// Estimated value at percentile p (0..100): the midpoint of the bucket
+    /// containing the rank-⌈p/100·count⌉ sample. Exact for values < 8,
+    /// within 1/8 relative error above. Returns 0 on an empty snapshot.
+    [[nodiscard]] double percentile(double p) const {
+      if (count == 0) return 0.0;
+      const double target = std::clamp(p, 0.0, 100.0) / 100.0 *
+                            static_cast<double>(count);
+      std::uint64_t seen = 0;
+      for (std::size_t i = 0; i < kBucketCount; ++i) {
+        seen += buckets[i];
+        if (static_cast<double>(seen) >= target && buckets[i] > 0) {
+          const std::uint64_t lo = bucket_lower(i);
+          const std::uint64_t hi = bucket_upper(i);
+          // (lo + hi - 1) / 2: exact value for width-1 buckets, midpoint
+          // otherwise; never exceeds the recorded max.
+          return std::min(static_cast<double>(max),
+                          (static_cast<double>(lo) +
+                           static_cast<double>(hi - 1)) / 2.0);
+        }
+      }
+      return static_cast<double>(max);
+    }
+
+    [[nodiscard]] double mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) /
+                              static_cast<double>(count);
+    }
+
+    /// Bucket-wise merge; the result is exactly the snapshot that one
+    /// histogram fed both record streams would produce.
+    Snapshot& operator+=(const Snapshot& o) {
+      count += o.count;
+      sum += o.sum;
+      max = std::max(max, o.max);
+      for (std::size_t i = 0; i < kBucketCount; ++i)
+        buckets[i] += o.buckets[i];
+      return *this;
+    }
+  };
+
+  [[nodiscard]] Snapshot snapshot() const {
+    Snapshot s;
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kBucketCount; ++i)
+      s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    return s;
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// RAII duration recording into a Histogram (nanoseconds); a null histogram
+/// makes it a no-op, mirroring ScopedTimer. Per-event call sites in engine
+/// hot loops resolve their Histogram* only under obs::kHotCountersEnabled,
+/// so the whole record path compiles out with -DGPO_OBS_HOT_COUNTERS=OFF.
+class ScopedHistogramTimer {
+ public:
+  explicit ScopedHistogramTimer(Histogram* h)
+      : h_(h), start_(h ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{}) {}
+  ScopedHistogramTimer(const ScopedHistogramTimer&) = delete;
+  ScopedHistogramTimer& operator=(const ScopedHistogramTimer&) = delete;
+  ~ScopedHistogramTimer() {
+    if (h_ == nullptr) return;
+    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+    h_->record(static_cast<std::uint64_t>(ns));
+  }
+
+ private:
+  Histogram* h_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace gpo::obs

@@ -32,6 +32,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/histogram.hpp"
+
 namespace gpo::obs {
 
 /// Per-event hot-path counters (state interned, event appended) are guarded
@@ -121,7 +123,7 @@ class ScopedTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
-enum class MetricKind { kCounter, kGauge, kTimer };
+enum class MetricKind { kCounter, kGauge, kTimer, kHistogram };
 
 /// Named metric slots. Registration (counter()/gauge()/timer()) takes a lock
 /// and is idempotent per name; the returned references are stable for the
@@ -143,15 +145,29 @@ class MetricsRegistry {
   Timer& timer(std::string_view name) {
     return slot<Timer>(name, MetricKind::kTimer, timers_);
   }
+  /// A duration histogram. Registry convention: record() takes NANOSECONDS
+  /// (use record_seconds()/ScopedHistogramTimer); snapshot()/report
+  /// percentiles are converted to seconds.
+  Histogram& histogram(std::string_view name) {
+    return slot<Histogram>(name, MetricKind::kHistogram, histograms_);
+  }
 
   /// One registered metric, flattened for formatting/serialization.
   struct Snapshot {
     std::string name;
     MetricKind kind = MetricKind::kCounter;
-    /// counter: the count; gauge: the value; timer: accumulated seconds.
+    /// counter: the count; gauge: the value; timer/histogram: accumulated
+    /// seconds.
     double value = 0;
-    /// counter: the exact count; timer: the sample count; gauge: 0.
+    /// counter: the exact count; timer/histogram: the sample count;
+    /// gauge: 0.
     std::uint64_t count = 0;
+    /// Histograms only: percentile estimates and the observed max, in
+    /// seconds (recorded nanoseconds / 1e9). Zero for the other kinds.
+    double p50 = 0;
+    double p90 = 0;
+    double p99 = 0;
+    double max = 0;
   };
 
   /// All metrics whose name starts with `prefix` (empty = all), in
@@ -181,6 +197,16 @@ class MetricsRegistry {
           s.value = timers_[e.index].seconds();
           s.count = timers_[e.index].count();
           break;
+        case MetricKind::kHistogram: {
+          Histogram::Snapshot h = histograms_[e.index].snapshot();
+          s.value = static_cast<double>(h.sum) * 1e-9;
+          s.count = h.count;
+          s.p50 = h.percentile(50) * 1e-9;
+          s.p90 = h.percentile(90) * 1e-9;
+          s.p99 = h.percentile(99) * 1e-9;
+          s.max = static_cast<double>(h.max) * 1e-9;
+          break;
+        }
       }
       out.push_back(std::move(s));
     }
@@ -200,6 +226,9 @@ class MetricsRegistry {
         return gauges_[e.index].value();
       case MetricKind::kTimer:
         return timers_[e.index].seconds();
+      case MetricKind::kHistogram:
+        return static_cast<double>(histograms_[e.index].snapshot().sum) *
+               1e-9;
     }
     return std::nullopt;
   }
@@ -237,6 +266,7 @@ class MetricsRegistry {
   std::deque<Counter> counters_;  // deque: stable references across growth
   std::deque<Gauge> gauges_;
   std::deque<Timer> timers_;
+  std::deque<Histogram> histograms_;
   std::vector<Entry> entries_;  // registration order
   std::unordered_map<std::string, std::size_t> by_name_;
 };

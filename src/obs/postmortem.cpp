@@ -1,0 +1,236 @@
+#include "obs/postmortem.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+
+#include "obs/diag.hpp"
+
+namespace gpo::obs {
+
+namespace {
+
+// ---- phase mirror (written by span boundaries, read by the handler) ------
+
+constexpr int kMaxPhaseDepth = 16;
+constexpr int kPhaseNameLen = 48;
+char g_phase[kMaxPhaseDepth][kPhaseNameLen];
+// acq_rel RMWs: a pusher's row write happens-before the next claimer of the
+// same slot through the RMW chain, so row reuse across threads is ordered.
+std::atomic<int> g_phase_depth{0};
+
+// ---- watched slots --------------------------------------------------------
+
+constexpr int kMaxWatch = 16;
+struct WatchSlot {
+  const char* label = nullptr;
+  const Counter* counter = nullptr;
+  const Gauge* gauge = nullptr;
+};
+WatchSlot g_watch[kMaxWatch];
+std::atomic<int> g_watch_count{0};
+
+std::atomic<const Tracer*> g_tracer{nullptr};
+std::atomic<const MetricsRegistry*> g_registry{nullptr};
+std::atomic<bool> g_installed{false};
+long g_page_size = 4096;  // cached at install(); sysconf is not sig-safe
+
+// ---- async-signal-safe line builder --------------------------------------
+
+/// Accumulates one "[postmortem] ..." line in a stack buffer and emits it
+/// with a single write(2) — atomic w.r.t. other stderr writers for short
+/// lines, and the only output primitive the signal path may use.
+class RawLine {
+ public:
+  RawLine() { append("[postmortem] "); }
+  void append(const char* s) {
+    while (*s != '\0' && n_ < sizeof(buf_) - 1) buf_[n_++] = *s++;
+  }
+  void append_u64(unsigned long long v) {
+    char tmp[20];
+    int i = 0;
+    if (v == 0) tmp[i++] = '0';
+    while (v > 0 && i < 20) {
+      tmp[i++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    }
+    while (i > 0 && n_ < sizeof(buf_) - 1) buf_[n_++] = tmp[--i];
+  }
+  void emit() {
+    buf_[n_++] = '\n';
+    // The return value is irrelevant on the way down.
+    [[maybe_unused]] ssize_t rc = ::write(2, buf_, n_);
+  }
+
+ private:
+  char buf_[256];
+  std::size_t n_ = 0;
+};
+
+const char* signal_name(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGBUS: return "SIGBUS";
+    case SIGILL: return "SIGILL";
+    case SIGFPE: return "SIGFPE";
+    case SIGABRT: return "SIGABRT";
+    default: return "signal";
+  }
+}
+
+/// Everything here is async-signal-safe: stack buffers, relaxed atomic
+/// loads, open/read/close, write. No allocation, no locks, no iostreams.
+void raw_dump(const char* reason) {
+  {
+    RawLine l;
+    l.append("fatal: ");
+    l.append(reason);
+    l.emit();
+  }
+  int depth = g_phase_depth.load(std::memory_order_acquire);
+  if (depth > kMaxPhaseDepth) depth = kMaxPhaseDepth;
+  for (int i = 0; i < depth; ++i) {
+    RawLine l;
+    l.append("  phase[");
+    l.append_u64(static_cast<unsigned long long>(i));
+    l.append("]: ");
+    l.append(g_phase[i]);
+    l.emit();
+  }
+  int watches = g_watch_count.load(std::memory_order_acquire);
+  if (watches > kMaxWatch) watches = kMaxWatch;
+  for (int i = 0; i < watches; ++i) {
+    const WatchSlot& w = g_watch[i];
+    RawLine l;
+    l.append("  ");
+    l.append(w.label);
+    l.append(" = ");
+    if (w.counter != nullptr) {
+      l.append_u64(w.counter->value());
+    } else if (w.gauge != nullptr) {
+      double v = w.gauge->value();
+      l.append_u64(v <= 0 ? 0 : static_cast<unsigned long long>(v));
+    }
+    l.emit();
+  }
+  // /proc/self/statm: "size resident ..." in pages.
+  int fd = ::open("/proc/self/statm", O_RDONLY);
+  if (fd >= 0) {
+    char buf[64];
+    ssize_t n = ::read(fd, buf, sizeof(buf) - 1);
+    ::close(fd);
+    if (n > 0) {
+      buf[n] = '\0';
+      unsigned long long pages = 0;
+      const char* p = buf;
+      while (*p >= '0' && *p <= '9') ++p;  // skip "size"
+      while (*p == ' ') ++p;
+      while (*p >= '0' && *p <= '9')
+        pages = pages * 10 + static_cast<unsigned long long>(*p++ - '0');
+      RawLine l;
+      l.append("  rss_bytes = ");
+      l.append_u64(pages * static_cast<unsigned long long>(g_page_size));
+      l.emit();
+    }
+  }
+}
+
+void fatal_signal_handler(int sig) {
+  raw_dump(signal_name(sig));
+  // SA_RESETHAND already restored the default disposition; re-raising from
+  // inside the handler leaves the signal pending (it is blocked here) and
+  // it is delivered with the default action on return — same exit code /
+  // core dump as without the handler.
+  ::raise(sig);
+}
+
+[[noreturn]] void terminate_handler() {
+  raw_dump("std::terminate (uncaught exception?)");
+  // Keep SIGABRT from re-dumping through the signal handler.
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = SIG_DFL;
+  ::sigaction(SIGABRT, &sa, nullptr);
+  std::abort();
+}
+
+}  // namespace
+
+namespace detail {
+
+void pm_phase_push(std::string_view name) {
+  int d = g_phase_depth.fetch_add(1, std::memory_order_acq_rel);
+  if (d < 0 || d >= kMaxPhaseDepth) return;
+  std::size_t n = name.size();
+  if (n > kPhaseNameLen - 1) n = kPhaseNameLen - 1;
+  std::memcpy(g_phase[d], name.data(), n);
+  g_phase[d][n] = '\0';
+}
+
+void pm_phase_pop() {
+  g_phase_depth.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+}  // namespace detail
+
+void Postmortem::install() {
+  if (g_installed.exchange(true)) return;
+  g_page_size = ::sysconf(_SC_PAGESIZE);
+  if (g_page_size <= 0) g_page_size = 4096;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = fatal_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESETHAND;
+  for (int sig : {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT})
+    ::sigaction(sig, &sa, nullptr);
+  std::set_terminate(terminate_handler);
+}
+
+void Postmortem::watch(const char* label, const Counter& c) {
+  int i = g_watch_count.load(std::memory_order_relaxed);
+  if (i >= kMaxWatch) return;
+  g_watch[i].label = label;
+  g_watch[i].counter = &c;
+  g_watch[i].gauge = nullptr;
+  g_watch_count.store(i + 1, std::memory_order_release);
+}
+
+void Postmortem::watch(const char* label, const Gauge& g) {
+  int i = g_watch_count.load(std::memory_order_relaxed);
+  if (i >= kMaxWatch) return;
+  g_watch[i].label = label;
+  g_watch[i].counter = nullptr;
+  g_watch[i].gauge = &g;
+  g_watch_count.store(i + 1, std::memory_order_release);
+}
+
+void Postmortem::set_context(const Tracer* tracer,
+                             const MetricsRegistry* reg) {
+  g_tracer.store(tracer, std::memory_order_release);
+  g_registry.store(reg, std::memory_order_release);
+}
+
+void Postmortem::dump(const std::string& reason) {
+  DiagSink& sink = DiagSink::instance();
+  sink.line("[postmortem] " + reason);
+  if (const Tracer* t = g_tracer.load(std::memory_order_acquire)) {
+    std::string path = t->current_path();
+    if (!path.empty()) sink.line("[postmortem]   phase: " + path);
+  }
+  if (const MetricsRegistry* r =
+          g_registry.load(std::memory_order_acquire)) {
+    for (const MetricsRegistry::Snapshot& s : r->snapshot()) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), " = %g", s.value);
+      sink.line("[postmortem]   " + s.name + buf);
+    }
+  }
+}
+
+}  // namespace gpo::obs

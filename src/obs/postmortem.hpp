@@ -1,0 +1,71 @@
+// Postmortem diagnostics: dump "what was running" before the process dies.
+//
+// Two distinct paths, chosen by context (this distinction is the point —
+// see the signal-safety note below):
+//
+//   * Normal context (--max-seconds aborts, explicit dump() calls): goes
+//     through obs::DiagSink like every other diagnostic line, so postmortem
+//     output cannot interleave with concurrent heartbeat lines. Prints the
+//     tracer's current span path, the watched slots and a registry
+//     snapshot.
+//
+//   * Fatal-signal/std::terminate context (SIGSEGV/SIGBUS/SIGILL/SIGFPE/
+//     SIGABRT, uncaught exceptions): DiagSink is OFF LIMITS — its mutex is
+//     not async-signal-safe, and if the signal lands while the heartbeat
+//     thread holds that mutex, taking it again in the handler deadlocks a
+//     dying process. Instead the handler uses a pre-formatted raw path:
+//     only stack buffers, hand-rolled integer formatting, and ONE write(2)
+//     call per output line. A single write() of a short line (< PIPE_BUF)
+//     is atomic with respect to other writers on the same fd, so even if a
+//     heartbeat line is mid-flight the postmortem lines come out whole —
+//     the "[postmortem]" prefix marks them. After dumping, the handler
+//     restores the default disposition and re-raises, so exit codes and
+//     core dumps behave as without the handler.
+//
+// What the signal path can print is whatever is readable without locks:
+//   * the active span stack, mirrored into a fixed lock-free buffer by
+//     detail::pm_phase_push/pop on every traced span boundary (span.hpp);
+//   * "watched" metric slots registered up front via watch() — relaxed
+//     atomic loads on lock-free std::atomic slots are async-signal-safe;
+//   * current/peak RSS read directly from /proc/self/statm with
+//     open/read/close.
+//
+// The phase mirror is a single global stack: with concurrent racers the
+// interleaving across threads is best-effort (entries may belong to
+// different threads) — acceptable for a crash diagnostic, documented here
+// rather than papered over with locks the handler could not take.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace gpo::obs {
+
+class Postmortem {
+ public:
+  /// Installs the fatal-signal handlers (SIGSEGV, SIGBUS, SIGILL, SIGFPE,
+  /// SIGABRT) and the std::terminate handler. Idempotent; call once from
+  /// main() before work starts.
+  static void install();
+
+  /// Registers a metric slot to be printed by the signal-path dump.
+  /// `label` must be a string literal (stored by pointer); the slot must
+  /// outlive the process's dying breath (registry-backed slots do — the
+  /// registry deques never move). Capacity is fixed (16); further calls
+  /// are ignored.
+  static void watch(const char* label, const Counter& c);
+  static void watch(const char* label, const Gauge& g);
+
+  /// Context for normal-path dumps; either may be null. Not used by the
+  /// signal path (which cannot take the tracer/registry locks).
+  static void set_context(const Tracer* tracer, const MetricsRegistry* reg);
+
+  /// Normal-context dump through DiagSink: reason, current span path,
+  /// watched slots, registry snapshot. Safe to call from any thread that
+  /// is allowed to block on the diagnostic mutex.
+  static void dump(const std::string& reason);
+};
+
+}  // namespace gpo::obs

@@ -50,6 +50,18 @@ json::Value registry_to_json(const MetricsRegistry& reg,
       case MetricKind::kTimer:
         out[key] = s.value;
         break;
+      case MetricKind::kHistogram: {
+        // Nested object so per-engine counters keep their flat numeric
+        // shape; all durations in seconds (registry histograms record ns).
+        json::Value h = json::Value::object();
+        h["count"] = static_cast<long long>(s.count);
+        h["p50"] = s.p50;
+        h["p90"] = s.p90;
+        h["p99"] = s.p99;
+        h["max"] = s.max;
+        out[key] = std::move(h);
+        break;
+      }
     }
   }
   return out;
@@ -171,6 +183,25 @@ json::Value RunReport::build(const Tracer* tracer,
 
   if (tracer != nullptr) doc["phases"] = phase_tree(tracer->records());
   else doc["phases"] = json::Value::array();
+
+  // Latency distributions: every registered histogram (even count == 0, so
+  // the section's shape is independent of traffic), percentiles in seconds.
+  if (reg != nullptr) {
+    json::Value hists = json::Value::array();
+    for (const MetricsRegistry::Snapshot& s : reg->snapshot()) {
+      if (s.kind != MetricKind::kHistogram) continue;
+      json::Value h = json::Value::object();
+      h["name"] = s.name;
+      h["count"] = static_cast<long long>(s.count);
+      h["p50"] = s.p50;
+      h["p90"] = s.p90;
+      h["p99"] = s.p99;
+      h["max"] = s.max;
+      hists.push_back(std::move(h));
+    }
+    if (hists.size() > 0) doc["histograms"] = std::move(hists);
+  }
+  if (!events_path_.empty()) doc["events_path"] = events_path_;
 
   json::Value mem = json::Value::object();
   mem["peak_rss_bytes"] = static_cast<long long>(peak_rss_bytes());

@@ -24,6 +24,9 @@
 //                   "cancel_latency_seconds":..,
 //                   "engines":[...engine runs, with "cancelled"...]} ],
 //     "phases": [ {"name":"parse","ms":..,"children":[...]} ],
+//     "histograms": [ {"name":"service.job_seconds", "count":..,  // optional
+//                      "p50":.., "p90":.., "p99":.., "max":..} ], // seconds
+//     "events_path": "events.jsonl",                              // optional
 //     "memory": {"peak_rss_bytes":.., "gauges":{...}}   // registry "mem.*"
 //   }
 //
@@ -115,6 +118,12 @@ class RunReport {
   void add_job(JobRun job) { jobs_.push_back(std::move(job)); }
   [[nodiscard]] std::size_t job_count() const { return jobs_.size(); }
 
+  /// Where the structured JSONL event log of this run was written (the
+  /// `--events` flag / `events=` manifest directive). Emitted as the
+  /// optional top-level "events_path" string so tooling can join the report
+  /// with the event stream.
+  void set_events_path(std::string path) { events_path_ = std::move(path); }
+
   /// Assembles the full document. `tracer` supplies the phase tree and `reg`
   /// the "mem." gauges; either may be null.
   [[nodiscard]] json::Value build(const Tracer* tracer,
@@ -126,6 +135,7 @@ class RunReport {
  private:
   std::string tool_;
   std::string command_;
+  std::string events_path_;
   json::Value net_ = json::Value::object();
   std::vector<EngineRun> engines_;
   std::vector<JobRun> jobs_;

@@ -16,14 +16,37 @@
 // to be strictly nested per thread (RAII enforces that per scope).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 namespace gpo::obs {
+
+namespace detail {
+/// Async-signal-safe phase mirror (obs/postmortem.cpp): every traced span
+/// push/pops its name into a fixed lock-free stack so the fatal-signal
+/// handler can print "what was running" without taking the tracer mutex.
+void pm_phase_push(std::string_view name);
+void pm_phase_pop();
+}  // namespace detail
+
+/// Receives span open/close notifications (the structured event log
+/// implements this to emit span-open/span-close JSONL records). Callbacks
+/// fire OUTSIDE the tracer mutex, on the thread that opened/closed the span;
+/// implementations do their own synchronization.
+class SpanEventSink {
+ public:
+  virtual ~SpanEventSink() = default;
+  /// `trace_us` is the span's tracer-relative start time (the same clock as
+  /// --trace output, so events join); `dur_us` is -1 on open.
+  virtual void span_event(bool open, const std::string& name,
+                          std::int64_t trace_us, std::int64_t dur_us) = 0;
+};
 
 class Tracer {
  public:
@@ -46,6 +69,13 @@ class Tracer {
   [[nodiscard]] std::vector<Record> records() const {
     std::lock_guard<std::mutex> lock(mu_);
     return records_;
+  }
+
+  /// Attach (or detach with nullptr) a span open/close listener. Set it
+  /// before spans start; the pointer is read with relaxed atomics on every
+  /// span boundary and must outlive the tracer's spans.
+  void set_event_sink(SpanEventSink* sink) {
+    sink_.store(sink, std::memory_order_relaxed);
   }
 
   /// The open span stack as "outer/inner/..." — what the run is doing right
@@ -71,33 +101,57 @@ class Tracer {
   }
 
   std::size_t begin(std::string name) {
-    std::lock_guard<std::mutex> lock(mu_);
-    Record r;
-    r.name = std::move(name);
-    r.parent = open_.empty()
-                   ? 0
-                   : static_cast<std::uint32_t>(open_.back() + 1);
-    r.depth = static_cast<std::uint32_t>(open_.size());
-    r.start_us = now_us();
-    records_.push_back(std::move(r));
-    open_.push_back(records_.size() - 1);
-    return records_.size() - 1;
+    // The sink/postmortem notifications run outside the lock (they take
+    // their own), so copy what they need while still holding it — records_
+    // may reallocate under a concurrent begin().
+    std::string copy = name;
+    std::int64_t start = 0;
+    std::size_t idx;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Record r;
+      r.name = std::move(name);
+      r.parent = open_.empty()
+                     ? 0
+                     : static_cast<std::uint32_t>(open_.back() + 1);
+      r.depth = static_cast<std::uint32_t>(open_.size());
+      r.start_us = now_us();
+      start = r.start_us;
+      records_.push_back(std::move(r));
+      open_.push_back(records_.size() - 1);
+      idx = records_.size() - 1;
+    }
+    detail::pm_phase_push(copy);
+    if (SpanEventSink* sink = sink_.load(std::memory_order_relaxed))
+      sink->span_event(true, copy, start, -1);
+    return idx;
   }
 
   void end(std::size_t idx) {
-    std::lock_guard<std::mutex> lock(mu_);
-    records_[idx].dur_us = now_us() - records_[idx].start_us;
-    for (auto it = open_.rbegin(); it != open_.rend(); ++it)
-      if (*it == idx) {
-        open_.erase(std::next(it).base());
-        break;
-      }
+    std::string name;
+    std::int64_t start = 0, dur = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      records_[idx].dur_us = now_us() - records_[idx].start_us;
+      name = records_[idx].name;
+      start = records_[idx].start_us;
+      dur = records_[idx].dur_us;
+      for (auto it = open_.rbegin(); it != open_.rend(); ++it)
+        if (*it == idx) {
+          open_.erase(std::next(it).base());
+          break;
+        }
+    }
+    detail::pm_phase_pop();
+    if (SpanEventSink* sink = sink_.load(std::memory_order_relaxed))
+      sink->span_event(false, name, start, dur);
   }
 
   mutable std::mutex mu_;
   std::vector<Record> records_;
   std::vector<std::size_t> open_;  // indices into records_, outer..inner
   Clock::time_point epoch_;
+  std::atomic<SpanEventSink*> sink_{nullptr};
 };
 
 /// RAII phase scope. A null tracer makes the span a no-op, so engines can

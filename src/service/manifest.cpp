@@ -100,7 +100,16 @@ Manifest parse_manifest(std::istream& in) {
     ++line_no;
     std::size_t hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    std::size_t last = line.find_last_not_of(" \t\r");
+    std::string trimmed = line.substr(first, last - first + 1);
+    // Manifest-level directive, not a job: the event-log destination.
+    if (trimmed.compare(0, 7, "events=") == 0) {
+      if (trimmed.size() == 7) fail(line_no, "events= names no file");
+      m.events_path = trimmed.substr(7);
+      continue;
+    }
     m.jobs.push_back(parse_job_line(line, line_no));
   }
   return m;

@@ -17,6 +17,12 @@
 //                 exits nonzero when a job's verdict disagrees — this is the
 //                 column the CI portfolio-smoke job asserts against
 //
+// One manifest-level directive is recognized on a line of its own:
+//
+//   events=<path>   write the structured JSONL event log of the batch run
+//                   there (same format as `julie --events`; the CLI flag
+//                   wins when both are given)
+//
 // '#' starts a comment (full line or trailing); blank lines are skipped.
 // Unknown keys, unknown engine names and malformed values are hard errors
 // with the offending line number — a manifest typo must not silently shrink
@@ -59,6 +65,9 @@ struct JobSpec {
 
 struct Manifest {
   std::vector<JobSpec> jobs;
+  /// The `events=` directive: where to write the batch run's JSONL event
+  /// log. "" = none requested.
+  std::string events_path;
 };
 
 class ManifestError : public std::runtime_error {

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "models/models.hpp"
+#include "obs/event_log.hpp"
 #include "parser/net_format.hpp"
 #include "parser/pnml.hpp"
 #include "util/work_stealing.hpp"
@@ -43,7 +44,10 @@ petri::PetriNet load_net(const std::string& model) {
 /// mutex-per-deque queues are far from contended.
 class Pool {
  public:
-  explicit Pool(std::size_t workers) : queues_(workers) {
+  /// `depth` (optional) is kept equal to the number of submitted-but-not-
+  /// yet-started tasks — the live queue-depth gauge.
+  explicit Pool(std::size_t workers, obs::Gauge* depth = nullptr)
+      : queues_(workers), depth_(depth) {
     threads_.reserve(queues_.worker_count());
     for (std::size_t i = 0; i < queues_.worker_count(); ++i)
       threads_.emplace_back([this, i] { worker(i); });
@@ -61,12 +65,19 @@ class Pool {
   [[nodiscard]] std::size_t workers() const { return queues_.worker_count(); }
 
   void submit(std::function<void()> task) {
+    std::size_t depth = queued_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (depth_ != nullptr) depth_->set(static_cast<double>(depth));
     queues_.push(next_.fetch_add(1, std::memory_order_relaxed) % workers(),
                  std::move(task));
     // Pairing the notify with the queue's own mutex would require exposing
     // it; instead sleepers use a bounded wait, so a lost notify costs at
     // most one wait quantum, never a hang.
     cv_.notify_one();
+  }
+
+  /// Tasks submitted but not yet picked up by a worker.
+  [[nodiscard]] std::size_t queued() const {
+    return queued_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -83,6 +94,9 @@ class Pool {
       for (std::size_t k = 0; k < queues_.worker_count() && !got; ++k)
         got = queues_.steal((me + k) % queues_.worker_count(), task);
       if (got) {
+        std::size_t depth =
+            queued_.fetch_sub(1, std::memory_order_relaxed) - 1;
+        if (depth_ != nullptr) depth_->set(static_cast<double>(depth));
         task();
         task = nullptr;
         continue;
@@ -94,6 +108,8 @@ class Pool {
   }
 
   util::WorkStealingQueues<std::function<void()>> queues_;
+  obs::Gauge* depth_;
+  std::atomic<std::size_t> queued_{0};
   std::atomic<std::size_t> next_{0};
   std::mutex mu_;
   std::condition_variable cv_;
@@ -116,6 +132,7 @@ struct PortfolioScheduler::Impl {
     std::mutex mu;
     std::condition_variable cv;
     bool decided = false;  // a winner fired the token
+    bool started = false;  // some racer actually began running
     std::size_t remaining = 0;
     bool done = false;
     JobResult result;
@@ -125,15 +142,49 @@ struct PortfolioScheduler::Impl {
       : options(std::move(opts)),
         registry(options.registry != nullptr ? *options.registry
                                              : default_engine_registry()),
+        jobs_submitted(service_metrics.counter("service.jobs.submitted")),
+        jobs_completed(service_metrics.counter("service.jobs.completed")),
+        jobs_in_flight(service_metrics.gauge("service.jobs.in_flight")),
+        queue_depth_gauge(service_metrics.gauge("service.queue.depth")),
+        job_hist(service_metrics.histogram("service.job_seconds")),
+        cancel_hist(
+            service_metrics.histogram("service.cancel_latency_seconds")),
+        queue_wait_hist(
+            service_metrics.histogram("service.queue_wait_seconds")),
+        started_at(Clock::now()),
         pool(options.pool_threads != 0
                  ? options.pool_threads
                  : std::max<std::size_t>(
-                       1, std::thread::hardware_concurrency())) {}
+                       1, std::thread::hardware_concurrency()),
+             &queue_depth_gauge) {}
+
+  /// Emits one job lifecycle record when an event log is attached.
+  void event(std::string_view name, std::size_t job, obs::json::Value extra) {
+    if (options.events != nullptr)
+      options.events->job_event(name, static_cast<long long>(job),
+                                std::move(extra));
+  }
+  void event(std::string_view name, std::size_t job) {
+    event(name, job, obs::json::Value::object());
+  }
+
+  /// Bookkeeping shared by the racer and error completion paths: runs after
+  /// on_complete returned and before done is published.
+  void note_job_completed(double seconds) {
+    jobs_completed.add();
+    job_hist.record_seconds(seconds);
+    std::size_t still =
+        in_flight.fetch_sub(1, std::memory_order_relaxed) - 1;
+    jobs_in_flight.set(static_cast<double>(still));
+    completed_count.fetch_add(1, std::memory_order_relaxed);
+  }
 
   void run_racer(JobState& js, std::size_t index, const std::string& name,
                  const EngineRunner& runner) {
+    const std::size_t job_id = js.result.id;
     EngineOutcome out;
     bool skip = false;
+    bool first_start = false;
     {
       std::lock_guard<std::mutex> lock(js.mu);
       if (js.decided) {
@@ -143,10 +194,22 @@ struct PortfolioScheduler::Impl {
         out.cancelled = true;
         out.aborted = true;
         skip = true;
+      } else if (!js.started) {
+        js.started = true;
+        first_start = true;
       }
     }
     const Clock::time_point start = Clock::now();
     if (!skip) {
+      // Queue wait: submission to this racer actually getting a worker.
+      // Skipped racers are excluded — they never waited for a run.
+      queue_wait_hist.record_seconds(seconds_between(js.submitted_at, start));
+      if (first_start) event("started", job_id);
+      {
+        obs::json::Value ev = obs::json::Value::object();
+        ev["engine"] = name;
+        event("racer-start", job_id, std::move(ev));
+      }
       RunLimits limits;
       limits.max_states = js.spec.max_states;
       limits.max_seconds = js.spec.max_seconds;
@@ -160,11 +223,17 @@ struct PortfolioScheduler::Impl {
         out.error = e.what();
       }
       if (out.seconds == 0) out.seconds = seconds_between(start, Clock::now());
+      service_metrics.histogram("service.engine." + name + ".seconds")
+          .record_seconds(out.seconds);
     }
     out.engine = name;
 
     const Clock::time_point end = Clock::now();
     bool completed = false;
+    bool won = false;
+    bool was_cancelled = false;
+    double cancel_latency = 0;
+    std::string verdict = out.verdict;
     JobResult snapshot;
     {
       std::lock_guard<std::mutex> lock(js.mu);
@@ -175,6 +244,7 @@ struct PortfolioScheduler::Impl {
         js.result.verdict = out.verdict;
         js.result.counterexample = out.counterexample;
         js.token.cancel();
+        won = true;
       } else if (out.conclusive) {
         // A second racer finished conclusively before it saw the cancel.
         // Agreement is the expected (and tested) case; a disagreement is a
@@ -188,9 +258,10 @@ struct PortfolioScheduler::Impl {
         // Only racers that actually ran measure the drain, from the later of
         // token-fire and their own start; a skipped racer returning from the
         // queue says nothing about poll latency.
-        js.result.cancel_latency_seconds = std::max(
-            js.result.cancel_latency_seconds,
-            seconds_between(std::max(js.cancel_at, start), end));
+        cancel_latency = seconds_between(std::max(js.cancel_at, start), end);
+        js.result.cancel_latency_seconds =
+            std::max(js.result.cancel_latency_seconds, cancel_latency);
+        was_cancelled = true;
       }
       js.result.engines[index] = std::move(out);
       if (--js.remaining == 0) {
@@ -199,10 +270,33 @@ struct PortfolioScheduler::Impl {
         snapshot = js.result;
       }
     }
+    if (won) {
+      service_metrics.counter("service.engine." + name + ".wins").add();
+      obs::json::Value ev = obs::json::Value::object();
+      ev["engine"] = name;
+      ev["verdict"] = verdict;
+      event("first-answer", job_id, std::move(ev));
+    }
+    if (was_cancelled) {
+      service_metrics.counter("service.engine." + name + ".cancelled").add();
+      // The per-job scalar keeps only the max drain; the histogram sees
+      // every cancelled racer's drain, so p99 is a real fleet statistic.
+      cancel_hist.record_seconds(cancel_latency);
+      obs::json::Value ev = obs::json::Value::object();
+      ev["engine"] = name;
+      event("cancelled", job_id, std::move(ev));
+    }
     // on_complete runs BEFORE done is published: wait()/wait_all() returning
     // guarantees every completion callback has also returned (the server
     // relies on this to print BYE after the last VERDICT).
     if (completed) {
+      note_job_completed(snapshot.seconds);
+      {
+        obs::json::Value ev = obs::json::Value::object();
+        ev["verdict"] = snapshot.verdict;
+        ev["seconds"] = snapshot.seconds;
+        event("finished", job_id, std::move(ev));
+      }
       if (options.on_complete) options.on_complete(snapshot);
       // Notify while holding the mutex: a waiter freed to return by done may
       // destroy this JobState, so the broadcast must be ordered before any
@@ -235,6 +329,21 @@ struct PortfolioScheduler::Impl {
 
   SchedulerOptions options;
   const EngineRegistry& registry;
+  /// The scheduler's own telemetry scope; declared before the slot
+  /// references and the pool (which publishes the queue-depth gauge).
+  /// mutable: service_metrics() is conceptually const (snapshot reads), but
+  /// slot registration is lazy.
+  mutable obs::MetricsRegistry service_metrics;
+  obs::Counter& jobs_submitted;
+  obs::Counter& jobs_completed;
+  obs::Gauge& jobs_in_flight;
+  obs::Gauge& queue_depth_gauge;
+  obs::Histogram& job_hist;
+  obs::Histogram& cancel_hist;
+  obs::Histogram& queue_wait_hist;
+  std::atomic<std::size_t> in_flight{0};
+  std::atomic<std::size_t> completed_count{0};
+  Clock::time_point started_at;
   Pool pool;
 
   std::mutex jobs_mu;
@@ -264,6 +373,15 @@ std::size_t PortfolioScheduler::submit(const JobSpec& spec) {
   state->result.model = spec.model;
   state->result.family_store = spec.family_store;
   state->result.expect = spec.expect;
+
+  impl_->jobs_submitted.add();
+  impl_->jobs_in_flight.set(static_cast<double>(
+      impl_->in_flight.fetch_add(1, std::memory_order_relaxed) + 1));
+  {
+    obs::json::Value ev = obs::json::Value::object();
+    ev["model"] = spec.model;
+    impl_->event("submitted", id, std::move(ev));
+  }
 
   // Resolve the portfolio and load the net up front; failures become an
   // immediate "error" result (one bad manifest line must not sink a batch).
@@ -300,6 +418,12 @@ std::size_t PortfolioScheduler::submit(const JobSpec& spec) {
       {
         std::lock_guard<std::mutex> lock(state->mu);
         snapshot = state->result;
+      }
+      impl->note_job_completed(snapshot.seconds);
+      {
+        obs::json::Value ev = obs::json::Value::object();
+        ev["verdict"] = snapshot.verdict;
+        impl->event("finished", snapshot.id, std::move(ev));
       }
       if (impl->options.on_complete) impl->options.on_complete(snapshot);
       // Notify under the lock — same lifetime reasoning as in run_racer.
@@ -351,6 +475,58 @@ std::size_t PortfolioScheduler::pool_threads() const {
 std::size_t PortfolioScheduler::submitted() const {
   std::lock_guard<std::mutex> lock(impl_->jobs_mu);
   return impl_->jobs.size();
+}
+
+obs::MetricsRegistry& PortfolioScheduler::service_metrics() const {
+  return impl_->service_metrics;
+}
+
+std::size_t PortfolioScheduler::queue_depth() const {
+  return impl_->pool.queued();
+}
+
+std::size_t PortfolioScheduler::completed() const {
+  return impl_->completed_count.load(std::memory_order_relaxed);
+}
+
+double PortfolioScheduler::uptime_seconds() const {
+  return seconds_between(impl_->started_at, Clock::now());
+}
+
+std::vector<PortfolioScheduler::JobBrief> PortfolioScheduler::jobs_brief()
+    const {
+  // Two leaf locks, never held while a racer runs: jobs_mu to copy the
+  // stable JobState pointers (jobs are never destroyed before the
+  // scheduler), then each job's own mutex for its fields — racers hold
+  // js.mu only around bookkeeping, not around engine runs, so this cannot
+  // block on a slow job.
+  std::vector<Impl::JobState*> states;
+  {
+    std::lock_guard<std::mutex> lock(impl_->jobs_mu);
+    states.reserve(impl_->jobs.size());
+    for (const auto& js : impl_->jobs) states.push_back(js.get());
+  }
+  std::vector<JobBrief> out;
+  out.reserve(states.size());
+  for (Impl::JobState* js : states) {
+    JobBrief b;
+    std::lock_guard<std::mutex> lock(js->mu);
+    b.id = js->result.id;
+    b.model = js->result.model;
+    if (js->done) {
+      b.state = "done";
+      b.verdict = js->result.verdict;
+      b.winner = js->result.winner;
+      b.seconds = js->result.seconds;
+    } else if (js->started) {
+      b.state = "running";
+      b.seconds = seconds_between(js->submitted_at, Clock::now());
+    } else {
+      b.state = "queued";
+    }
+    out.push_back(std::move(b));
+  }
+  return out;
 }
 
 std::vector<JobResult> run_batch(const Manifest& manifest,

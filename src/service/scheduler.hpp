@@ -40,6 +40,10 @@
 #include "service/manifest.hpp"
 #include "service/portfolio.hpp"
 
+namespace gpo::obs {
+class EventLog;
+}  // namespace gpo::obs
+
 namespace gpo::service {
 
 /// Final state of one portfolio job.
@@ -80,6 +84,10 @@ struct SchedulerOptions {
   /// Invoked on a worker thread as each job completes (server mode pushes
   /// VERDICT lines from here). May be empty.
   std::function<void(const JobResult&)> on_complete;
+  /// Structured JSONL event log; when set, the scheduler emits job
+  /// lifecycle records (submitted/started/racer-start/first-answer/
+  /// cancelled/finished). Must outlive the scheduler. May be null.
+  obs::EventLog* events = nullptr;
 };
 
 class PortfolioScheduler {
@@ -105,6 +113,35 @@ class PortfolioScheduler {
 
   [[nodiscard]] std::size_t pool_threads() const;
   [[nodiscard]] std::size_t submitted() const;
+
+  // -- live introspection (the serve STATS/JOBS/HEALTH surface) -------------
+  // All of these answer from relaxed-atomic slots or short leaf locks and
+  // never wait on running racers, so they stay responsive mid-race.
+
+  /// The scheduler's own telemetry scope: service.jobs.* counters, the
+  /// service.queue.depth gauge, the service.job_seconds /
+  /// service.cancel_latency_seconds / service.queue_wait_seconds histograms
+  /// and lazily-registered per-engine service.engine.<name>.{wins,cancelled,
+  /// seconds} slots. Lives as long as the scheduler.
+  [[nodiscard]] obs::MetricsRegistry& service_metrics() const;
+  /// Racer tasks enqueued on the pool but not yet picked up by a worker.
+  [[nodiscard]] std::size_t queue_depth() const;
+  /// Jobs whose completion callback has finished.
+  [[nodiscard]] std::size_t completed() const;
+  /// Seconds since the scheduler was constructed.
+  [[nodiscard]] double uptime_seconds() const;
+
+  /// One job's live state, for the JOBS command.
+  struct JobBrief {
+    std::size_t id = 0;
+    std::string model;
+    std::string state;    // "queued" | "running" | "done"
+    std::string verdict;  // final verdict when done, "" before
+    std::string winner;
+    double seconds = 0;
+  };
+  /// Snapshot of every submitted job (submission order).
+  [[nodiscard]] std::vector<JobBrief> jobs_brief() const;
 
  private:
   struct Impl;

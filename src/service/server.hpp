@@ -8,6 +8,9 @@
 //   client -> server
 //     CHECK <model> [engines=E1,E2,..] [max-seconds=S] [max-states=N]
 //                   [expect=V]          # same grammar as a manifest line
+//     STATS                             # live metrics snapshot
+//     JOBS                              # per-job live state
+//     HEALTH                            # liveness probe
 //     QUIT                              # drain outstanding jobs, then exit
 //
 //   server -> client
@@ -15,7 +18,19 @@
 //     JOB <id>                                     # ack: CHECK was accepted
 //     ERR <message>                                # the CHECK was malformed
 //     VERDICT <id> <verdict> winner=<w> seconds=<s> cancel-latency=<s>
+//     STATS <one-line JSON>                        # uptime, job counts,
+//                                                  #   queue depth, peak RSS,
+//                                                  #   per-engine wins/
+//                                                  #   cancels, histogram
+//                                                  #   percentiles
+//     JOBS <one-line JSON array>                   # [{id,model,state,...}]
+//     HEALTH <one-line JSON>                       # {"status":"ok",...}
 //     BYE <jobs-completed>                         # once, after QUIT / EOF
+//
+// STATS/JOBS/HEALTH are answered inline by the serving thread from the
+// scheduler's introspection surface (relaxed atomics + leaf locks), so they
+// return immediately even while slow jobs are racing — the protocol test
+// proves a reply arrives while a job is still blocked.
 //
 // EOF on the input behaves like QUIT. Replies are serialized through one
 // output mutex because VERDICT lines are pushed from pool worker threads.
@@ -31,6 +46,12 @@ struct ServerOptions {
   std::size_t pool_threads = 0;  // 0 = hardware concurrency
   /// nullptr = default_engine_registry(); tests inject synthetic engines.
   const EngineRegistry* registry = nullptr;
+  /// Structured JSONL event log for job lifecycle records; may be null.
+  /// Must outlive the serve() call.
+  obs::EventLog* events = nullptr;
+  /// > 0: run a progress heartbeat over the scheduler's service metrics at
+  /// this interval (stderr), like `julie --progress`.
+  double progress_secs = 0;
 };
 
 /// Runs the serve loop until QUIT or EOF; returns the number of jobs

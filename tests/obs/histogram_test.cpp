@@ -1,0 +1,159 @@
+// The log-bucketed histogram: bucket boundary algebra (index/lower/upper
+// inverses), the documented 12.5% relative-error bound, percentile
+// estimation, snapshot merging, and the registry integration (kHistogram
+// slots, seconds conversion, kind-mismatch detection).
+#include "obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+
+namespace gpo::obs {
+namespace {
+
+TEST(Histogram, LinearRegionIsExact) {
+  // Values below kSubBuckets get one bucket each.
+  for (std::uint64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+    EXPECT_EQ(Histogram::bucket_index(v), v);
+    EXPECT_EQ(Histogram::bucket_lower(v), v);
+    EXPECT_EQ(Histogram::bucket_upper(v), v + 1);
+  }
+}
+
+TEST(Histogram, BucketLowerIsLeftInverseOfIndex) {
+  // Every bucket's lower bound maps back to that bucket, and lower/upper
+  // tile the axis without gaps: upper(i) == lower(i+1).
+  for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_lower(i)), i)
+        << "bucket " << i;
+    if (i + 1 < Histogram::kBucketCount) {
+      EXPECT_EQ(Histogram::bucket_upper(i), Histogram::bucket_lower(i + 1));
+    }
+  }
+}
+
+TEST(Histogram, ValuesLandInsideTheirBucket) {
+  // Probe across magnitudes, including the boundaries of each octave.
+  for (std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{7}, std::uint64_t{8},
+        std::uint64_t{9}, std::uint64_t{15}, std::uint64_t{16},
+        std::uint64_t{17}, std::uint64_t{1000}, std::uint64_t{123456789},
+        std::uint64_t{1} << 40, (std::uint64_t{1} << 40) + 12345,
+        ~std::uint64_t{0}}) {
+    const std::size_t idx = Histogram::bucket_index(v);
+    ASSERT_LT(idx, Histogram::kBucketCount) << v;
+    EXPECT_GE(v, Histogram::bucket_lower(idx)) << v;
+    // The final bucket's upper bound saturates at UINT64_MAX (inclusive).
+    if (v != ~std::uint64_t{0}) {
+      EXPECT_LT(v, Histogram::bucket_upper(idx)) << v;
+    }
+  }
+}
+
+TEST(Histogram, RelativeErrorBoundedByOneEighth) {
+  // The documented accuracy contract: above the linear region the bucket
+  // width is at most lower/8, so the midpoint estimate is within 12.5%.
+  for (std::size_t i = Histogram::kSubBuckets;
+       i + 1 < Histogram::kBucketCount; ++i) {
+    const std::uint64_t lo = Histogram::bucket_lower(i);
+    const std::uint64_t width = Histogram::bucket_upper(i) - lo;
+    EXPECT_LE(width, lo / Histogram::kSubBuckets + 1) << "bucket " << i;
+  }
+}
+
+TEST(Histogram, PercentilesOnKnownDistribution) {
+  Histogram h;
+  // 100 samples: 1..100 (exact buckets below 8; quantized above).
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  auto s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.max, 100u);
+  EXPECT_EQ(s.sum, 5050u);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  // p50 is the 50th sample = 50; allow the 12.5% quantization.
+  EXPECT_NEAR(s.percentile(50), 50.0, 50.0 / 8 + 1);
+  EXPECT_NEAR(s.percentile(90), 90.0, 90.0 / 8 + 1);
+  // p100 is the top bucket's midpoint, never above the recorded max.
+  EXPECT_NEAR(s.percentile(100), 100.0, 100.0 / 8);
+  EXPECT_LE(s.percentile(100), static_cast<double>(s.max));
+  // Empty snapshot: all zero.
+  EXPECT_DOUBLE_EQ(Histogram::Snapshot{}.percentile(50), 0.0);
+}
+
+TEST(Histogram, PercentileNeverExceedsMax) {
+  Histogram h;
+  h.record(1'000'000);  // one sample: every percentile is that sample
+  auto s = h.snapshot();
+  EXPECT_LE(s.percentile(99), static_cast<double>(s.max));
+  EXPECT_DOUBLE_EQ(s.percentile(1), s.percentile(99));
+}
+
+TEST(Histogram, SnapshotMergeEqualsSingleStream) {
+  Histogram a, b, both;
+  for (std::uint64_t v = 1; v <= 500; ++v) {
+    (v % 2 == 0 ? a : b).record(v * 7);
+    both.record(v * 7);
+  }
+  auto sa = a.snapshot();
+  sa += b.snapshot();
+  auto sb = both.snapshot();
+  EXPECT_EQ(sa.count, sb.count);
+  EXPECT_EQ(sa.sum, sb.sum);
+  EXPECT_EQ(sa.max, sb.max);
+  EXPECT_EQ(sa.buckets, sb.buckets);
+}
+
+TEST(Histogram, RecordSecondsUsesNanoseconds) {
+  Histogram h;
+  h.record_seconds(0.5);
+  h.record_seconds(-1.0);  // clamps to 0
+  auto s = h.snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_GE(s.max, 400'000'000u);
+  EXPECT_LE(s.max, 600'000'000u);
+}
+
+TEST(ScopedHistogramTimer, NullIsNoOpAndRealRecords) {
+  { ScopedHistogramTimer t(nullptr); }  // must not crash
+  Histogram h;
+  { ScopedHistogramTimer t(&h); }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(MetricsRegistry, HistogramSlotSnapshotsInSeconds) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("service.job_seconds");
+  h.record_seconds(0.010);
+  h.record_seconds(0.020);
+  h.record_seconds(0.100);
+  // Same name resolves to the same slot.
+  EXPECT_EQ(&reg.histogram("service.job_seconds"), &h);
+
+  bool found = false;
+  for (const auto& s : reg.snapshot("service.")) {
+    if (s.name != "service.job_seconds") continue;
+    found = true;
+    EXPECT_EQ(s.kind, MetricKind::kHistogram);
+    EXPECT_EQ(s.count, 3u);
+    // Registry convention: recorded ns, reported seconds.
+    EXPECT_NEAR(s.p50, 0.020, 0.020 / 8 + 1e-9);
+    EXPECT_NEAR(s.max, 0.100, 0.100 / 8);
+    EXPECT_GE(s.p99, s.p90);
+    EXPECT_GE(s.p90, s.p50);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MetricsRegistry, HistogramKindMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.histogram("x"), std::logic_error);
+  reg.histogram("h");
+  EXPECT_THROW(reg.counter("h"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gpo::obs

@@ -45,6 +45,36 @@ TEST(MetricsRegistryConcurrent, IncrementsFromManyThreadsAreExact) {
                    static_cast<double>(((kIters - 1) / 1024) * 1024));
 }
 
+TEST(MetricsRegistryConcurrent, HistogramRecordsFromManyThreadsAreExact) {
+  // The histogram hot path is relaxed-only (no locks, no acquire/release);
+  // totals must still be exact once the writers join. TSan (via the
+  // `parallel` label) checks the relaxed accesses are at least atomic.
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, t] {
+      Histogram& h = reg.histogram("service.job_seconds");
+      for (int i = 0; i < kIters; ++i)
+        h.record(static_cast<std::uint64_t>(t * kIters + i));
+    });
+  }
+  // Concurrent snapshots (the STATS command / heartbeat path) must not
+  // block or crash the writers.
+  for (int i = 0; i < 50; ++i) (void)reg.snapshot("service.");
+  for (auto& w : workers) w.join();
+
+  auto s = reg.histogram("service.job_seconds").snapshot();
+  constexpr std::uint64_t kN = std::uint64_t{kThreads} * kIters;
+  EXPECT_EQ(s.count, kN);
+  EXPECT_EQ(s.sum, kN * (kN - 1) / 2);  // sum of 0..kN-1
+  EXPECT_EQ(s.max, kN - 1);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t b : s.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, kN);
+}
+
 TEST(MetricsRegistryConcurrent, SetMaxIsMonotoneUnderContention) {
   MetricsRegistry reg;
   Gauge& g = reg.gauge("hwm");

@@ -118,6 +118,47 @@ TEST(RunReport, GoldenDocumentValidatesAgainstCheckedInSchema) {
   EXPECT_NE(gauges->find("engine_full_visited_bytes"), nullptr);
 }
 
+/// The observability additions: a report carrying histogram percentile
+/// summaries and an events_path pointer must round-trip through text and
+/// validate against the checked-in schema (the same subset the Python
+/// validator implements).
+TEST(RunReport, HistogramsAndEventsPathValidateAgainstSchema) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("service.job_seconds");
+  h.record_seconds(0.001);
+  h.record_seconds(0.002);
+  h.record_seconds(0.050);
+  reg.counter("service.jobs.submitted").add(3);  // non-histogram: filtered
+
+  RunReport report("julie batch");
+  report.set_events_path("events.jsonl");
+  json::Value doc = report.build(nullptr, &reg);
+
+  const json::Value* hists = doc.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  ASSERT_TRUE(hists->is_array());
+  ASSERT_EQ(hists->size(), 1u);
+  const json::Value& entry = hists->items()[0];
+  EXPECT_EQ(entry.find("name")->as_string(), "service.job_seconds");
+  EXPECT_EQ(entry.find("count")->as_int(), 3);
+  EXPECT_GE(entry.find("p99")->as_number(), entry.find("p50")->as_number());
+  EXPECT_NEAR(entry.find("max")->as_number(), 0.050, 0.050 / 8);
+  EXPECT_EQ(doc.find("events_path")->as_string(), "events.jsonl");
+
+  json::Value schema = load_schema();
+  std::string error;
+  EXPECT_TRUE(json::validate(schema, doc, &error)) << error;
+  EXPECT_EQ(doc, json::Value::parse(doc.dump_string()));
+
+  // A report with no histogram slots must omit the section entirely (the
+  // schema keeps it optional so pre-existing consumers are unaffected).
+  RunReport bare("julie");
+  json::Value bare_doc = bare.build(nullptr, nullptr);
+  EXPECT_EQ(bare_doc.find("histograms"), nullptr);
+  EXPECT_EQ(bare_doc.find("events_path"), nullptr);
+  EXPECT_TRUE(json::validate(schema, bare_doc, &error)) << error;
+}
+
 TEST(RunReport, SchemaRejectsBadVerdictAndMissingFields) {
   json::Value schema = load_schema();
   RunReport report("julie");
@@ -156,6 +197,18 @@ TEST(Heartbeat, EmitLineFormatsLiveSlots) {
   EXPECT_NE(text.find("phase=engine/gpo"), std::string::npos) << text;
   // stop() printed exactly one more line after the explicit emit_line().
   EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+TEST(Heartbeat, QueueDepthAppearsWhenASchedulerRegisteredIt) {
+  MetricsRegistry reg;
+  std::ostringstream out;
+  Heartbeat hb(reg, nullptr, 30.0, out);
+  hb.emit_line();
+  EXPECT_EQ(out.str().find("queue="), std::string::npos)
+      << "no scheduler, no queue field";
+  reg.gauge("service.queue.depth").set(3);
+  hb.emit_line();
+  EXPECT_NE(out.str().find("queue=3"), std::string::npos) << out.str();
 }
 
 TEST(Heartbeat, StartStopIsIdempotentAndPrintsFinalLine) {

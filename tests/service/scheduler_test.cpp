@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <fstream>
@@ -14,6 +15,7 @@
 #include <thread>
 
 #include "models/models.hpp"
+#include "obs/event_log.hpp"
 #include "obs/json.hpp"
 #include "obs/report.hpp"
 #include "service/manifest.hpp"
@@ -216,6 +218,107 @@ TEST(Scheduler, PerJobMetricsAreIsolated) {
   EXPECT_NE(ra.metrics.get(), rb.metrics.get());
   // Each registry only saw its own job's run.
   EXPECT_FALSE(ra.metrics->snapshot("engine.por.").empty());
+}
+
+/// The scheduler's own telemetry scope and live-introspection surface: the
+/// latency histograms count every job, a mid-run cancellation lands in
+/// cancel_latency_seconds, and queue_depth/jobs_brief/completed agree with
+/// reality once the batch drains.
+TEST(Scheduler, ServiceMetricsHistogramsAndIntrospection) {
+  std::atomic<bool> slow_running{false};
+  EngineRegistry reg;
+  reg.add("fast", fast_engine({}, &slow_running));
+  reg.add("slow", slow_engine(nullptr, &slow_running));
+
+  SchedulerOptions opts;
+  opts.registry = &reg;
+  opts.pool_threads = 2;
+  PortfolioScheduler scheduler(std::move(opts));
+  EXPECT_GE(scheduler.uptime_seconds(), 0.0);
+
+  // Job 0 forces a genuine mid-run cancellation (the gated-fast pattern);
+  // job 1 is a plain single-racer win.
+  std::size_t a = scheduler.submit(spec_for("fig7", {"slow", "fast"}));
+  std::size_t b = scheduler.submit(spec_for("fig7", {"fast"}));
+  (void)scheduler.wait(a);
+  (void)scheduler.wait(b);
+
+  obs::MetricsRegistry& sm = scheduler.service_metrics();
+  EXPECT_EQ(sm.counter("service.jobs.submitted").value(), 2u);
+  EXPECT_EQ(sm.counter("service.jobs.completed").value(), 2u);
+  EXPECT_DOUBLE_EQ(sm.gauge("service.jobs.in_flight").value(), 0.0);
+  EXPECT_DOUBLE_EQ(sm.gauge("service.queue.depth").value(), 0.0);
+
+  // One histogram sample per job; every queue wait was measured; the
+  // cancelled racer contributed exactly one cancel-latency sample.
+  EXPECT_EQ(sm.histogram("service.job_seconds").count(), 2u);
+  EXPECT_GE(sm.histogram("service.queue_wait_seconds").count(), 2u);
+  EXPECT_EQ(sm.histogram("service.cancel_latency_seconds").count(), 1u);
+  auto cancel = sm.histogram("service.cancel_latency_seconds").snapshot();
+  EXPECT_GT(cancel.max, 0u);
+  // Lazily-registered per-engine slots: the fast engine won both jobs.
+  EXPECT_EQ(sm.counter("service.engine.fast.wins").value(), 2u);
+  EXPECT_EQ(sm.counter("service.engine.slow.cancelled").value(), 1u);
+  EXPECT_EQ(sm.histogram("service.engine.fast.seconds").count(), 2u);
+
+  EXPECT_EQ(scheduler.queue_depth(), 0u);
+  EXPECT_EQ(scheduler.completed(), 2u);
+  auto briefs = scheduler.jobs_brief();
+  ASSERT_EQ(briefs.size(), 2u);
+  for (const auto& brief : briefs) {
+    EXPECT_EQ(brief.state, "done");
+    EXPECT_EQ(brief.verdict, "no-deadlock");
+    EXPECT_EQ(brief.winner, "fast");
+    EXPECT_GE(brief.seconds, 0.0);
+  }
+  EXPECT_EQ(briefs[0].id, 0u);
+  EXPECT_EQ(briefs[1].id, 1u);
+}
+
+/// The scheduler feeds the structured event log the full job lifecycle, in
+/// causal order per job.
+TEST(Scheduler, EventLogReceivesJobLifecycle) {
+  std::ostringstream sink;
+  {
+    obs::EventLog events(sink);
+    std::atomic<bool> slow_running{false};
+    EngineRegistry reg;
+    reg.add("fast", fast_engine({}, &slow_running));
+    reg.add("slow", slow_engine(nullptr, &slow_running));
+    SchedulerOptions opts;
+    opts.registry = &reg;
+    opts.pool_threads = 2;
+    opts.events = &events;
+    PortfolioScheduler scheduler(std::move(opts));
+    (void)scheduler.wait(scheduler.submit(spec_for("fig7", {"slow", "fast"})));
+    events.close();
+  }
+  std::vector<std::string> order;
+  std::istringstream lines(sink.str());
+  std::string line;
+  std::int64_t last_ts = -1;
+  while (std::getline(lines, line)) {
+    obs::json::Value rec = obs::json::Value::parse(line);
+    order.push_back(rec.find("event")->as_string());
+    EXPECT_EQ(rec.find("job")->as_int(), 0);
+    const std::int64_t ts = rec.find("ts_us")->as_int();
+    EXPECT_GE(ts, last_ts) << "timestamps must be non-decreasing";
+    last_ts = ts;
+  }
+  // Assert only the orderings the scheduler guarantees: "submitted" leads,
+  // "finished" (the last completer) trails, and the first answer cannot
+  // precede the job starting. "first-answer" vs the loser's "cancelled" is
+  // a genuine race between two worker threads — not asserted.
+  ASSERT_FALSE(order.empty());
+  EXPECT_EQ(order.front(), "submitted");
+  EXPECT_EQ(order.back(), "finished");
+  auto index_of = [&](const std::string& e) {
+    return std::find(order.begin(), order.end(), e) - order.begin();
+  };
+  EXPECT_EQ(std::count(order.begin(), order.end(), "racer-start"), 2);
+  EXPECT_EQ(std::count(order.begin(), order.end(), "cancelled"), 1);
+  EXPECT_EQ(std::count(order.begin(), order.end(), "first-answer"), 1);
+  EXPECT_LT(index_of("started"), index_of("first-answer"));
 }
 
 /// The determinism cross-check of the acceptance criteria: for every
