@@ -18,8 +18,8 @@
 //   --parallel-out  also sweep the work-stealing engine over 1/2/4/8 threads
 //                   and emit the scaling rows (BENCH_gpo_parallel.json)
 //
-// JSON schema (schema_version 2):
-//   { "schema_version": 2, "benchmark": "bench_gpo_intern", "smoke": bool,
+// JSON schema (schema_version 3):
+//   { "schema_version": 3, "benchmark": "bench_gpo_intern", "smoke": bool,
 //     "models": [ { "model": str, "states": int, "seed_wall_ms": float,
 //                   "interned_wall_ms": float, "zdd_wall_ms": float,
 //                   "speedup": float, "peak_families": int,
@@ -27,12 +27,24 @@
 //                   "op_cache_hit_rate": float, "families_bytes": int,
 //                   "zdd_families_bytes": int, "zdd_nodes": int,
 //                   "peak_rss_bytes": int, "zdd_only": bool,
+//                   "reduce_ms": float, "reduced_places": int,
+//                   "reduced_transitions": int, "reduced_wall_ms": float,
+//                   "reduced_speedup": float,
 //                   "verdicts_match": bool } ] }
 //   zdd_only rows skip the explicit/interned runs (their seed/interned
 //   columns are 0) — they exist to chart the memory wall the ZDD store
 //   breaks. peak_rss_bytes is the process high-water mark sampled after the
 //   row, so it is monotone down the table; read it as "the run up to and
 //   including this row fit in this much".
+//   The reduced_* columns chart the net-reduction preprocessing pipeline
+//   (src/reduce/, level aggressive): reduce_ms is the pipeline wall,
+//   reduced_places/transitions the shrunk net, reduced_wall_ms the interned
+//   engine re-run on the reduced net, and reduced_speedup the end-to-end
+//   ratio interned_wall_ms / (reduce_ms + reduced_wall_ms). The reduced
+//   run's verdict (and, on a deadlock, its certificate-mapped counterexample
+//   replayed on the original net) folds into verdicts_match, so any
+//   unsoundness in the pipeline fails the benchmark. zdd_only rows report
+//   the shrink but skip the reduced engine re-run (reduced_wall_ms 0).
 // Parallel sweep schema (schema_version 1):
 //   { "schema_version": 1, "benchmark": "bench_gpo_parallel", "smoke": bool,
 //     "host_cpus": int,
@@ -54,6 +66,7 @@
 #include "core/gpo.hpp"
 #include "models/models.hpp"
 #include "obs/report.hpp"
+#include "reduce/reduce.hpp"
 #include "util/stopwatch.hpp"
 
 namespace {
@@ -78,9 +91,20 @@ struct Row {
   /// Memory-wall row (--slow): only the ZDD backend ran.
   bool zdd_only = false;
   bool verdicts_match = true;
+  /// Net-reduction preprocessing (level aggressive): pipeline wall, shrunk
+  /// net, and the interned engine re-run on the reduced net.
+  double reduce_ms = 0;
+  std::size_t reduced_places = 0;
+  std::size_t reduced_transitions = 0;
+  double reduced_wall_ms = 0;
 
   [[nodiscard]] double speedup() const {
     return interned_ms > 0 ? seed_ms / interned_ms : 0.0;
+  }
+  /// End-to-end: unreduced interned run vs reduce + reduced interned run.
+  [[nodiscard]] double reduced_speedup() const {
+    double total = reduce_ms + reduced_wall_ms;
+    return reduced_wall_ms > 0 && total > 0 ? interned_ms / total : 0.0;
   }
 };
 
@@ -113,6 +137,38 @@ Row run_row(const std::string& label, const PetriNet& net, double budget,
   auto zdd = gpo::core::run_gpo(net, gpo::core::FamilyKind::kExplicit, opt);
   row.zdd_ms = zdd_timer.elapsed_seconds() * 1000.0;
   opt.family_store = gpo::core::FamilyStore::kExplicit;
+
+  // Net-reduction preprocessing: shrink once (aggressive), then re-run the
+  // interned engine on the smaller net. The mapped counterexample must
+  // replay to a deadlock of the ORIGINAL net, so the bench doubles as a
+  // soundness check on the certificate machinery.
+  bool reduced_ok = true;
+  {
+    gpo::reduce::ReduceOptions ro;
+    ro.level = gpo::reduce::ReduceLevel::kAggressive;
+    gpo::util::Stopwatch reduce_timer;
+    gpo::reduce::ReductionResult red = gpo::reduce::reduce_net(net, ro);
+    row.reduce_ms = reduce_timer.elapsed_seconds() * 1000.0;
+    row.reduced_places = red.stats.places_after;
+    row.reduced_transitions = red.stats.transitions_after;
+    if (!zdd_only) {
+      opt.metrics_prefix = "reduced.";
+      gpo::util::Stopwatch reduced_timer;
+      auto reduced = gpo::core::run_gpo(red.net,
+                                        gpo::core::FamilyKind::kInterned, opt);
+      row.reduced_wall_ms = reduced_timer.elapsed_seconds() * 1000.0;
+      // Verdicts are only comparable when both runs finished: a reduced run
+      // completing inside a budget the unreduced run blew is the point of
+      // the pipeline, not a mismatch.
+      if (!reduced.limit_hit && !interned.limit_hit)
+        reduced_ok = reduced.deadlock_found == interned.deadlock_found;
+      if (reduced.deadlock_found && !reduced.counterexample.empty()) {
+        auto mapped = red.certificate.map_to_original(reduced.counterexample);
+        auto end = gpo::reduce::replay_trace(net, mapped);
+        reduced_ok &= end.has_value() && net.is_deadlocked(*end);
+      }
+    }
+  }
 
   if (report != nullptr && reg != nullptr) {
     auto add = [&](const char* engine, const auto& r, double seconds,
@@ -162,6 +218,7 @@ Row run_row(const std::string& label, const PetriNet& net, double budget,
                          zdd.single_steps == seed.single_steps &&
                          zdd.limit_hit == seed.limit_hit;
   }
+  row.verdicts_match = row.verdicts_match && reduced_ok;
   row.peak_rss_bytes = gpo::obs::peak_rss_bytes();
   return row;
 }
@@ -258,7 +315,7 @@ void write_parallel_json(std::ostream& out,
 
 void write_json(std::ostream& out, const std::vector<Row>& rows, bool smoke) {
   out << "{\n"
-      << "  \"schema_version\": 2,\n"
+      << "  \"schema_version\": 3,\n"
       << "  \"benchmark\": \"bench_gpo_intern\",\n"
       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
       << "  \"models\": [\n";
@@ -282,6 +339,13 @@ void write_json(std::ostream& out, const std::vector<Row>& rows, bool smoke) {
         << "      \"zdd_nodes\": " << r.zdd_nodes << ",\n"
         << "      \"peak_rss_bytes\": " << r.peak_rss_bytes << ",\n"
         << "      \"zdd_only\": " << (r.zdd_only ? "true" : "false") << ",\n"
+        << "      \"reduce_ms\": " << json_number(r.reduce_ms) << ",\n"
+        << "      \"reduced_places\": " << r.reduced_places << ",\n"
+        << "      \"reduced_transitions\": " << r.reduced_transitions << ",\n"
+        << "      \"reduced_wall_ms\": " << json_number(r.reduced_wall_ms)
+        << ",\n"
+        << "      \"reduced_speedup\": " << json_number(r.reduced_speedup())
+        << ",\n"
         << "      \"verdicts_match\": " << (r.verdicts_match ? "true" : "false")
         << "\n"
         << "    }" << (i + 1 < rows.size() ? "," : "") << "\n";
@@ -363,6 +427,7 @@ int main(int argc, char** argv) {
             << std::setw(9) << "speedup" << std::setw(10) << "families"
             << std::setw(7) << "hit%" << std::setw(12) << "fam-bytes"
             << std::setw(12) << "zdd-bytes" << std::setw(11) << "rss-mb"
+            << std::setw(11) << "reduced-ms" << std::setw(9) << "red-spd"
             << "\n";
   for (const Instance& inst : instances) {
     gpo::obs::MetricsRegistry reg;  // fresh per instance
@@ -380,6 +445,9 @@ int main(int argc, char** argv) {
               << row.zdd_families_bytes << std::setw(11)
               << std::setprecision(1)
               << static_cast<double>(row.peak_rss_bytes) / (1024.0 * 1024.0)
+              << std::setw(11) << std::setprecision(2)
+              << row.reduce_ms + row.reduced_wall_ms << std::setw(8)
+              << std::setprecision(1) << row.reduced_speedup() << "x"
               << (row.zdd_only ? "  [zdd-only]" : "")
               << (row.verdicts_match ? "" : "  VERDICT MISMATCH") << "\n";
     all_match &= row.verdicts_match;

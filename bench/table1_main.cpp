@@ -11,7 +11,7 @@
 // covered by bench/ablation_family).
 //
 // Usage: bench_table1 [--quick] [--max-seconds S] [--csv FILE] [--threads N]
-//                     [--gpo-threads N] [--report FILE]
+//                     [--gpo-threads N] [--report FILE] [--reduce L]
 // --threads N runs the exhaustive "States" column on the parallel sharded
 // explorer with N workers (counts are identical to the sequential engine).
 // --gpo-threads N runs the "GPO" column on the work-stealing interned-family
@@ -20,10 +20,15 @@
 // stays within one representation).
 // --report FILE additionally writes the schema-stable JSON run report
 // (bench/report_schema.json) shared with `julie --report`.
+// --reduce L (safe|aggressive) runs the structural net-reduction pipeline
+// once per instance and feeds every engine the reduced net (verdicts are
+// preserved by construction; see src/reduce/). The CSV gains the
+// before/after place and transition counts plus the reduction time.
 #include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -34,6 +39,7 @@
 #include "obs/report.hpp"
 #include "por/stubborn.hpp"
 #include "reach/explorer.hpp"
+#include "reduce/reduce.hpp"
 
 namespace {
 
@@ -51,6 +57,10 @@ struct Row {
   Cell full, por, smv, gpo;
   double smv_states = -1;  // the smv cell's value is peak nodes
   std::size_t gpo_delegated = 0;
+  // --reduce: pre-engine net shrink (before == after when off / no-op).
+  std::size_t places_before = 0, places_after = 0;
+  std::size_t transitions_before = 0, transitions_after = 0;
+  double reduce_seconds = 0;
 };
 
 std::string fmt_count(const Cell& c) {
@@ -146,6 +156,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   std::size_t threads = 1;
   std::size_t gpo_threads = 0;  // 0 = GPO column on the default BDD family
+  gpo::reduce::ReduceLevel reduce_level = gpo::reduce::ReduceLevel::kOff;
   std::string csv_path = "table1_results.csv";
   std::string report_path;
   for (int i = 1; i < argc; ++i) {
@@ -162,6 +173,15 @@ int main(int argc, char** argv) {
     if (!std::strcmp(argv[i], "--gpo-threads") && i + 1 < argc) {
       gpo_threads = std::stoul(argv[++i]);
       if (gpo_threads == 0) gpo_threads = 1;
+    }
+    if (!std::strcmp(argv[i], "--reduce") && i + 1 < argc) {
+      auto level = gpo::reduce::parse_reduce_level(argv[++i]);
+      if (!level.has_value()) {
+        std::cerr << "--reduce must be off, safe or aggressive, got '"
+                  << argv[i] << "'\n";
+        return 2;
+      }
+      reduce_level = *level;
     }
   }
 
@@ -219,27 +239,64 @@ int main(int argc, char** argv) {
     std::cout << "(GPO column: work-stealing interned-family engine, "
               << gpo_threads << " thread" << (gpo_threads > 1 ? "s" : "")
               << ")\n";
+  const bool reducing = reduce_level != gpo::reduce::ReduceLevel::kOff;
+  if (reducing)
+    std::cout << "(all engines run on the "
+              << gpo::reduce::reduce_level_name(reduce_level)
+              << "-reduced net; Net column shows places/transitions "
+                 "before -> after)\n";
   std::cout << "\n";
-  std::cout << std::left << std::setw(10) << "Problem" << std::right
-            << std::setw(10) << "States"                      //
+  std::cout << std::left << std::setw(10) << "Problem" << std::right;
+  if (reducing) std::cout << std::setw(20) << "Net(p/t)";
+  std::cout << std::setw(10) << "States"                      //
             << std::setw(10) << "PO-states" << std::setw(9) << "PO-t(s)"  //
             << std::setw(12) << "BDD-peak" << std::setw(9) << "BDD-t(s)"  //
             << std::setw(11) << "GPO-states" << std::setw(9) << "GPO-t(s)"
             << std::setw(11) << "GPO-deleg" << "\n";
-  std::cout << std::string(91, '-') << "\n";
+  std::cout << std::string(reducing ? 111 : 91, '-') << "\n";
 
   std::ofstream csv(csv_path);
   csv << "problem,full_states,full_s,por_states,por_s,bdd_peak,bdd_s,"
-         "gpo_states,gpo_s,gpo_delegated\n";
+         "gpo_states,gpo_s,gpo_delegated";
+  if (reducing)
+    csv << ",places_before,places_after,transitions_before,"
+           "transitions_after,reduce_s";
+  csv << "\n";
 
   for (const Instance& inst : instances) {
     // A fresh registry per instance keeps the four engines' counters from
     // accumulating across rows.
     gpo::obs::MetricsRegistry reg;
-    Row row = run_row(inst.label, inst.net, budget, threads, gpo_threads,
+    const PetriNet* net = &inst.net;
+    std::optional<PetriNet> reduced;
+    Row red_stats;
+    if (reducing) {
+      gpo::reduce::ReduceOptions ro;
+      ro.level = reduce_level;
+      gpo::reduce::ReductionResult red = gpo::reduce::reduce_net(inst.net, ro);
+      red_stats.places_before = red.stats.places_before;
+      red_stats.places_after = red.stats.places_after;
+      red_stats.transitions_before = red.stats.transitions_before;
+      red_stats.transitions_after = red.stats.transitions_after;
+      red_stats.reduce_seconds = red.stats.seconds;
+      reduced.emplace(std::move(red.net));
+      net = &*reduced;
+    }
+    Row row = run_row(inst.label, *net, budget, threads, gpo_threads,
                       report_path.empty() ? nullptr : &reg);
-    std::cout << std::left << std::setw(10) << row.problem << std::right
-              << std::setw(10) << fmt_count(row.full)       //
+    row.places_before = red_stats.places_before;
+    row.places_after = red_stats.places_after;
+    row.transitions_before = red_stats.transitions_before;
+    row.transitions_after = red_stats.transitions_after;
+    row.reduce_seconds = red_stats.reduce_seconds;
+    std::cout << std::left << std::setw(10) << row.problem << std::right;
+    if (reducing) {
+      std::ostringstream nets;
+      nets << row.places_before << "p/" << row.transitions_before << "t->"
+           << row.places_after << "p/" << row.transitions_after << "t";
+      std::cout << std::setw(20) << nets.str();
+    }
+    std::cout << std::setw(10) << fmt_count(row.full)       //
               << std::setw(10) << fmt_count(row.por)        //
               << std::setw(9) << fmt_time(row.por)          //
               << std::setw(12) << fmt_count(row.smv)        //
@@ -251,7 +308,12 @@ int main(int argc, char** argv) {
     csv << row.problem << ',' << row.full.value << ',' << row.full.seconds
         << ',' << row.por.value << ',' << row.por.seconds << ','
         << row.smv.value << ',' << row.smv.seconds << ',' << row.gpo.value
-        << ',' << row.gpo.seconds << ',' << row.gpo_delegated << "\n";
+        << ',' << row.gpo.seconds << ',' << row.gpo_delegated;
+    if (reducing)
+      csv << ',' << row.places_before << ',' << row.places_after << ','
+          << row.transitions_before << ',' << row.transitions_after << ','
+          << row.reduce_seconds;
+    csv << "\n";
     if (!report_path.empty()) {
       report.add_engine(
           engine_run("full", inst.label, row.full, row.full.value, reg,

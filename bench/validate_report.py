@@ -11,7 +11,7 @@ items, enum, minimum, additionalProperties, and $ref into #/definitions.
 No third-party jsonschema dependency, so CI can run it on a bare runner.
 Exit status 0 iff the document validates; errors go to stderr.
 
---bench validates the bench_gpo_intern output instead (schema_version 2,
+--bench validates the bench_gpo_intern output instead (schema_version 3,
 field presence/types, every verdicts_match true) and enforces the
 checked-in memory gate: the nsdp:6 row's zdd_families_bytes must stay
 under NSDP6_ZDD_BYTES_MAX. The gate is the regression tripwire for the
@@ -51,6 +51,11 @@ BENCH_ROW_FIELDS = {
     "zdd_nodes": int,
     "peak_rss_bytes": int,
     "zdd_only": bool,
+    "reduce_ms": (int, float),
+    "reduced_places": int,
+    "reduced_transitions": int,
+    "reduced_wall_ms": (int, float),
+    "reduced_speedup": (int, float),
     "verdicts_match": bool,
 }
 
@@ -58,8 +63,8 @@ BENCH_ROW_FIELDS = {
 def validate_bench(doc):
     """Returns a list of error strings for a bench_gpo_intern document."""
     errors = []
-    if doc.get("schema_version") != 2:
-        errors.append(f"schema_version {doc.get('schema_version')!r} != 2")
+    if doc.get("schema_version") != 3:
+        errors.append(f"schema_version {doc.get('schema_version')!r} != 3")
     if doc.get("benchmark") != "bench_gpo_intern":
         errors.append(f"benchmark {doc.get('benchmark')!r}")
     models = doc.get("models")
@@ -78,7 +83,8 @@ def validate_bench(doc):
         if not row.get("verdicts_match", False):
             errors.append(f"{where}: verdicts_match is false")
         if row.get("zdd_only") and (row.get("seed_wall_ms") or
-                                    row.get("interned_wall_ms")):
+                                    row.get("interned_wall_ms") or
+                                    row.get("reduced_wall_ms")):
             errors.append(f"{where}: zdd_only row has explicit timings")
         if row.get("model") == "nsdp:6" and isinstance(
                 row.get("zdd_families_bytes"), int):
@@ -104,7 +110,7 @@ def main_bench(path):
     gated = [r for r in doc["models"] if r["model"] == "nsdp:6"]
     gate = (f", nsdp:6 zdd bytes {gated[0]['zdd_families_bytes']}"
             f" <= {NSDP6_ZDD_BYTES_MAX}" if gated else "")
-    print(f"{path}: valid (schema_version 2, {len(doc['models'])} models, "
+    print(f"{path}: valid (schema_version 3, {len(doc['models'])} models, "
           f"all verdicts match{gate})")
     return 0
 

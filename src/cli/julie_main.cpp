@@ -39,6 +39,7 @@
 #include "petri/structure.hpp"
 #include "por/stubborn.hpp"
 #include "reach/explorer.hpp"
+#include "reduce/reduce.hpp"
 #include "safety/safety.hpp"
 #include "service/service_cli.hpp"
 #include "unfold/unfolding.hpp"
@@ -69,6 +70,15 @@ int usage(const char* argv0) {
       << "                     zdd stores canonical set families as shared\n"
       << "                     zero-suppressed DDs: ~10x less family memory\n"
       << "                     on scenario-heavy nets, sequential only)\n"
+      << "  --reduce L         off | safe | aggressive — structural net\n"
+      << "                     reduction before the deadlock engines run\n"
+      << "                     (default off). The engines analyze the\n"
+      << "                     reduced net; the verdict transfers through\n"
+      << "                     the reduction certificate and deadlock\n"
+      << "                     counterexamples are replayed on the original\n"
+      << "                     net as an acceptance check. Not applied to\n"
+      << "                     --safety/--ctl/--liveness/--structure, which\n"
+      << "                     inspect original-net markings\n"
       << "  --safety P1,P2,..  check 'P1..Pk never simultaneously marked'\n"
       << "                     via the deadlock reduction (uses --engine)\n"
       << "  --liveness         report transitions that can never fire\n"
@@ -231,6 +241,7 @@ int main(int argc, char** argv) {
 
   std::string engine = "gpo";
   gpo::core::FamilyStore family_store = gpo::core::FamilyStore::kExplicit;
+  gpo::reduce::ReduceLevel reduce_level = gpo::reduce::ReduceLevel::kOff;
   std::string model_spec;
   std::string net_file;
   std::string dot_file, write_net_file, write_pnml_file;
@@ -267,6 +278,15 @@ int main(int argc, char** argv) {
         return 2;
       }
       family_store = *parsed;
+    } else if (arg == "--reduce") {
+      std::string level = next();
+      auto parsed = gpo::reduce::parse_reduce_level(level);
+      if (!parsed) {
+        std::cerr << "--reduce must be 'off', 'safe' or 'aggressive', got '"
+                  << level << "'\n";
+        return 2;
+      }
+      reduce_level = *parsed;
     } else if (arg == "--safety") {
       safety_spec = next();
     } else if (arg == "--ctl") {
@@ -527,6 +547,56 @@ int main(int argc, char** argv) {
     return finish(r.violated ? 10 : 0);
   }
 
+  // Structural reduction, applied ONCE here so every racing engine sees the
+  // same (smaller) net; the engines themselves keep their reduce options off.
+  // The verdict transfers through the certificate; counterexamples are mapped
+  // back and replayed on the original net below (replay is the acceptance
+  // oracle). Property analyses above run on the original net.
+  std::optional<PetriNet> reduced;
+  std::optional<gpo::reduce::ReductionCertificate> certificate;
+  const PetriNet* analysis_net = &*net;
+  if (reduce_level != gpo::reduce::ReduceLevel::kOff) {
+    gpo::obs::Span span(tr, "reduce");
+    gpo::reduce::ReduceOptions ro;
+    ro.level = reduce_level;
+    ro.metrics = reg;
+    ro.tracer = tr;
+    auto red = gpo::reduce::reduce_net(*net, ro);
+    if (!quiet)
+      std::cout << "reduce(" << gpo::reduce::reduce_level_name(reduce_level)
+                << "): " << red.stats.places_before << "p/"
+                << red.stats.transitions_before << "t -> "
+                << red.stats.places_after << "p/"
+                << red.stats.transitions_after << "t in "
+                << red.stats.iterations << " sweeps ("
+                << red.stats.seconds << "s)\n";
+    if (want_stats) print_engine_stats(registry, "reduce", "reduce.");
+    report.set_reduction(gpo::reduce::to_report_run(red.stats));
+    reduced = std::move(red.net);
+    certificate = std::move(red.certificate);
+    analysis_net = &*reduced;
+  }
+
+  // Certificate acceptance: map a reduced-net deadlock counterexample back
+  // and replay it on the original net. A failure here is a reduction bug, not
+  // a property of the net — surface it loudly and fail the run.
+  bool certificate_violation = false;
+  auto accept_counterexample =
+      [&](const std::string& e,
+          const std::vector<gpo::petri::TransitionId>& trace) {
+        if (!certificate || trace.empty()) return;
+        std::vector<gpo::petri::TransitionId> mapped =
+            certificate->map_to_original(trace);
+        std::optional<gpo::petri::Marking> end =
+            gpo::reduce::replay_trace(*net, mapped);
+        if (!end.has_value() || !net->is_deadlocked(*end)) {
+          std::cerr << "ERROR: " << e << " counterexample does not replay to "
+                    << "a deadlock on the original net (reduction "
+                    << "certificate violation)\n";
+          certificate_violation = true;
+        }
+      };
+
   bool any_deadlock = false;
   auto run_one = [&](const std::string& e) {
     Row row;
@@ -547,9 +617,10 @@ int main(int argc, char** argv) {
         opt.num_threads = num_threads;
         opt.metrics = reg;
         opt.metrics_prefix = prefix;
-        auto r = gpo::reach::ExplicitExplorer(*net, opt).explore();
+        auto r = gpo::reach::ExplicitExplorer(*analysis_net, opt).explore();
         row = {e, static_cast<double>(r.state_count), 0, r.deadlock_found,
                r.limit_hit, r.interrupted_phase, r.seconds};
+        if (r.deadlock_found) accept_counterexample(e, r.counterexample);
         if (r.safeness_violation)
           gpo::obs::diag_line("  WARNING: net is not 1-safe");
       } else if (e == "por") {
@@ -558,15 +629,16 @@ int main(int argc, char** argv) {
         opt.max_seconds = max_seconds;
         opt.metrics = reg;
         opt.metrics_prefix = prefix;
-        auto r = gpo::por::StubbornExplorer(*net, opt).explore();
+        auto r = gpo::por::StubbornExplorer(*analysis_net, opt).explore();
         row = {e, static_cast<double>(r.state_count), 0, r.deadlock_found,
                r.limit_hit, r.interrupted_phase, r.seconds};
+        if (r.deadlock_found) accept_counterexample(e, r.counterexample);
       } else if (e == "bdd") {
         gpo::bdd::SymbolicOptions opt;
         opt.max_seconds = max_seconds;
         opt.metrics = reg;
         opt.metrics_prefix = prefix;
-        auto r = gpo::bdd::SymbolicReachability(*net, opt).analyze();
+        auto r = gpo::bdd::SymbolicReachability(*analysis_net, opt).analyze();
         row = {e,        r.state_count,
                r.peak_nodes, r.deadlock_found,
                r.blowup, r.blowup ? "symbolic-fixpoint" : "",
@@ -576,7 +648,7 @@ int main(int argc, char** argv) {
         opt.metrics = reg;
         opt.metrics_prefix = prefix;
         gpo::util::Stopwatch watch;
-        auto p = gpo::unfold::unfold(*net, opt);
+        auto p = gpo::unfold::unfold(*analysis_net, opt);
         row.seconds = watch.elapsed_seconds();
         row.aborted = p.limit_hit;
         std::cout << "  unfold: events=" << p.events.size()
@@ -595,9 +667,10 @@ int main(int argc, char** argv) {
         auto kind = e == "gpo"       ? gpo::core::FamilyKind::kExplicit
                     : e == "gpo-bdd" ? gpo::core::FamilyKind::kBdd
                                      : gpo::core::FamilyKind::kInterned;
-        auto r = gpo::core::run_gpo(*net, kind, opt);
+        auto r = gpo::core::run_gpo(*analysis_net, kind, opt);
         row = {e, static_cast<double>(r.state_count), 0, r.deadlock_found,
                r.limit_hit, r.interrupted_phase, r.seconds};
+        if (r.deadlock_found) accept_counterexample(e, r.counterexample);
       } else {
         std::cerr << "unknown engine '" << e << "'\n";
         exit(2);
@@ -646,5 +719,6 @@ int main(int argc, char** argv) {
   } else {
     run_one(engine);
   }
+  if (certificate_violation) return finish(1);
   return finish(any_deadlock ? 10 : 0);
 }

@@ -294,9 +294,17 @@ class GpnAnalyzer {
   [[nodiscard]] std::vector<petri::TransitionId> single_enabled_transitions(
       const State& s) const {
     std::vector<petri::TransitionId> out;
+    single_enabled_transitions(s, out);
+    return out;
+  }
+
+  /// Scratch-vector variant (out is cleared first): the main loops keep one
+  /// vector alive across states so the per-state allocation disappears.
+  void single_enabled_transitions(const State& s,
+                                  std::vector<petri::TransitionId>& out) const {
+    out.clear();
     for (petri::TransitionId t = 0; t < net_.transition_count(); ++t)
       if (!s_enabled(t, s).is_empty()) out.push_back(t);
-    return out;
   }
 
   // -- Shared machinery (used by explore() and the parallel engine) --------
@@ -674,6 +682,9 @@ GpoResult GpnAnalyzer<Family>::explore() const {
   frontier.push_back(0);
 
   bool stopped = false;
+  // Per-state scratch, capacity reused across the whole search.
+  std::vector<petri::TransitionId> single_enabled;
+  single_enabled.reserve(net_.transition_count());
 
   // Expands states from `frontier` until it drains (or a limit/stop hits).
   auto run_bfs = [&]() {
@@ -723,8 +734,7 @@ GpoResult GpnAnalyzer<Family>::explore() const {
         }
       }
 
-      std::vector<petri::TransitionId> single_enabled =
-          single_enabled_transitions(s);
+      single_enabled_transitions(s, single_enabled);
       for (petri::TransitionId t : single_enabled) enabled_at[si].set(t);
       result.fireable_transitions |= enabled_at[si];
       if (single_enabled.empty()) continue;  // fully dead GPN state

@@ -12,6 +12,7 @@
 #include "obs/span.hpp"
 #include "petri/dot.hpp"
 #include "petri/net.hpp"
+#include "reduce/reduce.hpp"
 #include "util/bitset.hpp"
 #include "util/cancel_token.hpp"
 
@@ -82,6 +83,15 @@ struct GpoOptions {
   /// a node-level computed table. The ZDD manager is single-threaded, so
   /// kZdd always runs the sequential engine (num_threads is ignored).
   FamilyStore family_store = FamilyStore::kExplicit;
+  /// Structural net reduction applied by run_gpo() before the search: the
+  /// engine runs on the reduced net, the counterexample is mapped back
+  /// through the ReductionCertificate and re-validated by replay on the
+  /// input net (state/edge counts stay those of the reduced search — that
+  /// is the point). Ignored when required_witness_place is set: the
+  /// safety-to-deadlock reduction's violation place must not be rewritten.
+  /// Callers that reduce once for several engines (the CLI, the portfolio
+  /// scheduler) keep this kOff and map counterexamples themselves.
+  reduce::ReduceLevel reduce_level = reduce::ReduceLevel::kOff;
 };
 
 /// Counters specific to the parallel GPN engine (threads == 0 when the

@@ -60,6 +60,8 @@ struct WorkerTally {
   util::Bitset fireable;
   std::vector<ExpansionRecord> expanded;
   std::vector<EdgeRecord> edges;
+  /// Per-state scratch for single_enabled_transitions (capacity reused).
+  std::vector<petri::TransitionId> enabled_scratch;
 };
 
 // State shared by all workers for one exploration.
@@ -121,8 +123,8 @@ void expand(SharedSearch& shared, std::size_t me, const WorkItem& item,
     }
   }
 
-  std::vector<petri::TransitionId> single_enabled =
-      an.single_enabled_transitions(s);
+  std::vector<petri::TransitionId>& single_enabled = tally.enabled_scratch;
+  an.single_enabled_transitions(s, single_enabled);
   ExpansionRecord rec;
   rec.id = item.id;
   rec.enabled = util::Bitset(tally.fireable.size());

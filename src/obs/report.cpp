@@ -127,6 +127,25 @@ void RunReport::set_net(const std::string& name, std::size_t places,
 
 namespace {
 
+json::Value reduction_to_json(const RunReport::ReductionRun& red) {
+  json::Value r = json::Value::object();
+  r["level"] = red.level;
+  r["places_before"] = red.places_before;
+  r["places_after"] = red.places_after;
+  r["transitions_before"] = red.transitions_before;
+  r["transitions_after"] = red.transitions_after;
+  r["seconds"] = red.seconds;
+  json::Value passes = json::Value::array();
+  for (const auto& [pass, applications] : red.passes) {
+    json::Value p = json::Value::object();
+    p["pass"] = pass;
+    p["applications"] = applications;
+    passes.push_back(std::move(p));
+  }
+  r["passes"] = std::move(passes);
+  return r;
+}
+
 json::Value engine_run_to_json(const RunReport::EngineRun& run,
                                bool in_job) {
   json::Value e = json::Value::object();
@@ -151,6 +170,7 @@ json::Value RunReport::build(const Tracer* tracer,
   doc["tool"] = tool_;
   if (!command_.empty()) doc["command"] = command_;
   if (net_.is_object() && net_.size() > 0) doc["net"] = net_;
+  if (reduction_.has_value()) doc["reduction"] = reduction_to_json(*reduction_);
 
   json::Value engines = json::Value::array();
   for (const EngineRun& run : engines_)
@@ -172,6 +192,8 @@ json::Value RunReport::build(const Tracer* tracer,
       }
       j["seconds"] = job.seconds;
       j["cancel_latency_seconds"] = job.cancel_latency_seconds;
+      if (job.reduction.has_value())
+        j["reduction"] = reduction_to_json(*job.reduction);
       json::Value racers = json::Value::array();
       for (const EngineRun& run : job.engines)
         racers.push_back(engine_run_to_json(run, /*in_job=*/true));

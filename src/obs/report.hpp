@@ -15,6 +15,13 @@
 //     "tool": "julie",
 //     "command": "...",                      // optional
 //     "net": {"name":..,"places":..,"transitions":..},
+//     "reduction": {"level":"safe","places_before":..,"places_after":..,
+//                   "transitions_before":..,"transitions_after":..,
+//                   "seconds":..,
+//                   "passes":[{"pass":"dead-places","applications":..}]},
+//                                              // optional (--reduce runs);
+//                                              // jobs[] entries carry their
+//                                              // own "reduction" object
 //     "engines": [ {"engine":"full", "model":"nsdp:8", "verdict":"deadlock",
 //                   "states":.., "seconds":.., "aborted":false,
 //                   "aborted_phase":"", "counters":{...}} ],
@@ -37,7 +44,9 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/json.hpp"
@@ -95,6 +104,25 @@ class RunReport {
   };
   void add_engine(EngineRun run) { engines_.push_back(std::move(run)); }
 
+  /// Outcome of the structural net reduction applied in front of the
+  /// engines (`--reduce` / the manifest's `reduce=` key). Kept as plain
+  /// strings/numbers so this header does not depend on the reduce library;
+  /// `passes` holds one (pass name, application count) pair per pass that
+  /// applied. Serialized as a "reduction" object — top-level for single
+  /// runs (set_reduction), per job inside jobs[] (JobRun::reduction).
+  struct ReductionRun {
+    std::string level;  // "safe" | "aggressive"
+    long long places_before = 0;
+    long long places_after = 0;
+    long long transitions_before = 0;
+    long long transitions_after = 0;
+    double seconds = 0;
+    std::vector<std::pair<std::string, long long>> passes;
+  };
+  void set_reduction(ReductionRun reduction) {
+    reduction_ = std::move(reduction);
+  }
+
   /// One portfolio job of a batch/server run (`julie batch` / `julie
   /// serve`). `engines` holds every racer's outcome; `winner` names the
   /// engine whose conclusive answer became the job verdict (empty when all
@@ -113,6 +141,9 @@ class RunReport {
     /// Longest drain of a cancelled loser: time from the cancel token firing
     /// to that engine actually returning. 0 when nothing was cancelled.
     double cancel_latency_seconds = 0;
+    /// Net reduction applied once before the job's racers fanned out;
+    /// absent when the manifest requested reduce=off (or nothing).
+    std::optional<ReductionRun> reduction;
     std::vector<EngineRun> engines;
   };
   void add_job(JobRun job) { jobs_.push_back(std::move(job)); }
@@ -137,6 +168,7 @@ class RunReport {
   std::string command_;
   std::string events_path_;
   json::Value net_ = json::Value::object();
+  std::optional<ReductionRun> reduction_;
   std::vector<EngineRun> engines_;
   std::vector<JobRun> jobs_;
 };

@@ -19,6 +19,7 @@ namespace {
 
 struct XmlNode {
   std::string name;  // local name, namespace prefix stripped
+  std::size_t line = 0;  // 1-based input line of the opening '<'
   std::map<std::string, std::string> attrs;
   std::vector<std::unique_ptr<XmlNode>> children;
   std::string text;  // concatenated character data
@@ -113,8 +114,9 @@ class XmlReader {
 
   std::unique_ptr<XmlNode> parse_element() {
     if (!starts_with("<")) fail("expected an element");
-    ++pos_;
     auto node = std::make_unique<XmlNode>();
+    node->line = line_at(pos_);
+    ++pos_;
     node->name = read_name();
     // Attributes.
     while (true) {
@@ -169,8 +171,19 @@ class XmlReader {
     }
   }
 
+  /// Line of `pos`, tracked incrementally: element starts are visited in
+  /// increasing position order, so one forward cursor suffices (fail() still
+  /// scans from the front — it runs once, on the way out).
+  std::size_t line_at(std::size_t pos) {
+    for (; line_cursor_ < pos && line_cursor_ < text_.size(); ++line_cursor_)
+      if (text_[line_cursor_] == '\n') ++line_;
+    return line_;
+  }
+
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t line_cursor_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -200,7 +213,27 @@ std::string label_of(const XmlNode& node, const std::string& fallback) {
   return fallback;
 }
 
-int int_label(const XmlNode& node, std::string_view child, int fallback) {
+/// Strict decimal integer (optional sign, digits, nothing else). stoi alone
+/// would accept "1x" by prefix and let "abc" escape as std::invalid_argument
+/// instead of a diagnosable ParseError.
+int parse_int_strict(const std::string& t, std::size_t line,
+                     const std::string& what) {
+  std::size_t first = (t[0] == '-' || t[0] == '+') ? 1 : 0;
+  bool digits = first < t.size();
+  for (std::size_t i = first; i < t.size(); ++i)
+    digits = digits && std::isdigit(static_cast<unsigned char>(t[i])) != 0;
+  if (!digits)
+    throw ParseError(line, "PNML: malformed " + what + " '" + t +
+                               "' (expected an integer)");
+  try {
+    return std::stoi(t);
+  } catch (const std::exception&) {
+    throw ParseError(line, "PNML: " + what + " '" + t + "' out of range");
+  }
+}
+
+int int_label(const XmlNode& node, std::string_view child, int fallback,
+              const std::string& what) {
   const XmlNode* c = find_child(node, child);
   if (c == nullptr) return fallback;
   std::string t;
@@ -209,13 +242,14 @@ int int_label(const XmlNode& node, std::string_view child, int fallback) {
   else
     t = trimmed(c->text);
   if (t.empty()) return fallback;
-  return std::stoi(t);
+  return parse_int_strict(t, c->line, what);
 }
 
 struct PnmlArc {
   std::string source;
   std::string target;
   int weight;
+  std::size_t line;  // of the <arc> element, for diagnostics
 };
 
 void collect(const XmlNode& scope, std::vector<const XmlNode*>& places,
@@ -232,9 +266,11 @@ void collect(const XmlNode& scope, std::vector<const XmlNode*>& places,
       auto src = c->attrs.find("source");
       auto dst = c->attrs.find("target");
       if (src == c->attrs.end() || dst == c->attrs.end())
-        throw ParseError(0, "PNML: arc without source/target");
-      arcs.push_back(
-          {src->second, dst->second, int_label(*c, "inscription", 1)});
+        throw ParseError(c->line, "PNML: arc without source/target");
+      arcs.push_back({src->second, dst->second,
+                      int_label(*c, "inscription", 1,
+                                "arc weight (inscription)"),
+                      c->line});
     }
   }
 }
@@ -262,23 +298,30 @@ petri::PetriNet parse_pnml(std::string_view text) {
   std::map<std::string, petri::TransitionId> transition_by_id;
   for (const XmlNode* p : places) {
     auto it = p->attrs.find("id");
-    if (it == p->attrs.end()) throw ParseError(0, "PNML: place without id");
-    int marking = int_label(*p, "initialMarking", 0);
+    if (it == p->attrs.end())
+      throw ParseError(p->line, "PNML: place without id");
+    int marking = int_label(*p, "initialMarking", 0, "initial marking");
     if (marking < 0 || marking > 1)
-      throw ParseError(0, "PNML: non-safe initial marking on " + it->second);
+      throw ParseError(p->line, "PNML: non-safe initial marking " +
+                                    std::to_string(marking) + " on " +
+                                    it->second);
     place_by_id[it->second] =
         builder.add_place(label_of(*p, it->second), marking == 1);
   }
   for (const XmlNode* t : transitions) {
     auto it = t->attrs.find("id");
     if (it == t->attrs.end())
-      throw ParseError(0, "PNML: transition without id");
+      throw ParseError(t->line, "PNML: transition without id");
     transition_by_id[it->second] =
         builder.add_transition(label_of(*t, it->second));
   }
   for (const PnmlArc& a : arcs) {
     if (a.weight != 1)
-      throw ParseError(0, "PNML: arc weights other than 1 are unsupported");
+      throw ParseError(a.line, "PNML: arc weight " +
+                                   std::to_string(a.weight) + " on " +
+                                   a.source + " -> " + a.target +
+                                   " (only weight-1 arcs are supported on "
+                                   "1-safe nets)");
     bool src_place = place_by_id.contains(a.source);
     bool dst_place = place_by_id.contains(a.target);
     if (src_place && transition_by_id.contains(a.target)) {
@@ -288,8 +331,9 @@ petri::PetriNet parse_pnml(std::string_view text) {
       builder.add_output_arc(transition_by_id[a.source],
                              place_by_id[a.target]);
     } else {
-      throw ParseError(0, "PNML: arc between unknown or same-kind nodes: " +
-                              a.source + " -> " + a.target);
+      throw ParseError(a.line,
+                       "PNML: arc between unknown or same-kind nodes: " +
+                           a.source + " -> " + a.target);
     }
   }
   return builder.build();

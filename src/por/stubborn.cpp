@@ -163,6 +163,8 @@ reach::ExplorerResult StubbornExplorer::explore_from(
   }
 
   std::size_t peak_frontier = frontier.size();
+  std::vector<TransitionId> enabled;  // per-state scratch, capacity reused
+  enabled.reserve(net_.transition_count());
   while (!frontier.empty() && !stopped) {
     peak_frontier = std::max(peak_frontier, frontier.size());
     if (live_frontier != nullptr)
@@ -178,8 +180,8 @@ reach::ExplorerResult StubbornExplorer::explore_from(
     frontier.pop_front();
     const Marking m = states[s];
 
-    for (TransitionId t : net_.enabled_transitions(m))
-      result.fireable_transitions.set(t);
+    net_.enabled_transitions(m, enabled);
+    for (TransitionId t : enabled) result.fireable_transitions.set(t);
     for (TransitionId t : ample_set(m)) {
       bool unsafe = false;
       Marking next = net_.fire(t, m, &unsafe);

@@ -13,6 +13,7 @@
 #include "obs/metrics.hpp"
 #include "petri/dot.hpp"
 #include "petri/net.hpp"
+#include "reduce/reduce.hpp"
 #include "util/bitset.hpp"
 #include "util/cancel_token.hpp"
 
@@ -53,6 +54,14 @@ struct ExplorerOptions {
   obs::MetricsRegistry* metrics = nullptr;
   /// Name prefix of the published counters, e.g. "engine.full.".
   std::string metrics_prefix = "full.";
+  /// Structural net reduction applied by explore() before the search: the
+  /// exploration runs on the reduced net and the deadlock counterexample /
+  /// witness are mapped back to the input net through the certificate
+  /// (replay is the oracle). Honored only when `bad_state` is unset — that
+  /// predicate sees input-net markings and must not be rewritten. Counts
+  /// (states, edges, deadlock_count) are those of the reduced search.
+  /// Callers that reduce once for several engines keep this kOff.
+  reduce::ReduceLevel reduce_level = reduce::ReduceLevel::kOff;
 };
 
 /// Observability counters for one exploration, printed by `julie --stats`.

@@ -5,6 +5,8 @@
 #include <istream>
 #include <sstream>
 
+#include "reduce/reduce.hpp"
+
 namespace gpo::service {
 
 namespace {
@@ -75,6 +77,11 @@ JobSpec parse_job_line(const std::string& line, std::size_t line_no) {
           fail(line_no,
                "family-store must be explicit or zdd, got '" + value + "'");
         spec.family_store = value;
+      } else if (key == "reduce") {
+        if (!reduce::parse_reduce_level(value))
+          fail(line_no, "reduce must be off, safe or aggressive, got '" +
+                            value + "'");
+        spec.reduce = value;
       } else if (key == "expect") {
         if (value != "deadlock" && value != "no-deadlock")
           fail(line_no, "expect must be deadlock or no-deadlock, got '" +

@@ -4,7 +4,7 @@
 // line at a time, by the server's CHECK command). Grammar, one job per line:
 //
 //   <model> [engines=E1,E2,..] [max-seconds=S] [max-states=N]
-//           [family-store=F] [expect=V]
+//           [family-store=F] [reduce=L] [expect=V]
 //
 //   <model>       a built-in spec ("nsdp:8", "fig7") or a .net/.pnml path
 //   engines=      portfolio to race; default gpo-intern,por,bdd,unfold
@@ -13,6 +13,11 @@
 //   family-store= "explicit" | "zdd" — family storage backend for the gpo
 //                 racers of this job (default explicit; zdd = canonical
 //                 zero-suppressed-DD store, lower memory, sequential)
+//   reduce=       "off" | "safe" | "aggressive" — structural net reduction
+//                 applied ONCE per job before the racers fan out (default
+//                 off); the job verdict transfers through the reduction
+//                 certificate and a winner's counterexample is mapped back
+//                 to and replayed on the original net
 //   expect=       expected verdict ("deadlock" | "no-deadlock"); batch mode
 //                 exits nonzero when a job's verdict disagrees — this is the
 //                 column the CI portfolio-smoke job asserts against
@@ -59,6 +64,10 @@ struct JobSpec {
   /// "" (engine default, i.e. explicit) | "explicit" | "zdd"; forwarded to
   /// the gpo racers' GpoOptions::family_store.
   std::string family_store;
+  /// "" (default, off) | "off" | "safe" | "aggressive"; structural net
+  /// reduction the scheduler applies once per job before racing (kept as
+  /// the manifest's string, same as family_store).
+  std::string reduce;
   std::string expect;  // "" (none) | "deadlock" | "no-deadlock"
   std::size_t line = 0;  // 1-based manifest line, for diagnostics
 };

@@ -11,6 +11,7 @@
 #include "obs/event_log.hpp"
 #include "parser/net_format.hpp"
 #include "parser/pnml.hpp"
+#include "reduce/reduce.hpp"
 #include "util/work_stealing.hpp"
 
 namespace gpo::service {
@@ -123,7 +124,12 @@ struct PortfolioScheduler::Impl {
   struct JobState {
     JobSpec spec;
     std::vector<std::string> engine_names;
+    /// The net the racers run on: the loaded net, or (with reduce=) its
+    /// reduction. `original` and `certificate` are set only in the latter
+    /// case, for mapping the winner's counterexample back.
     std::optional<petri::PetriNet> net;
+    std::optional<petri::PetriNet> original;
+    std::optional<reduce::ReductionCertificate> certificate;
     util::CancelToken token;
     std::shared_ptr<obs::MetricsRegistry> metrics;
     Clock::time_point submitted_at;
@@ -243,6 +249,22 @@ struct PortfolioScheduler::Impl {
         js.result.winner = name;
         js.result.verdict = out.verdict;
         js.result.counterexample = out.counterexample;
+        if (js.certificate.has_value() && !out.counterexample.empty()) {
+          // Map the reduced-net trace back and replay it on the original
+          // net — the certificate's acceptance oracle. A failure is a
+          // reduction bug, not a property of the net: keep the verdict
+          // (it transfers by the certificate argument) but flag the job.
+          js.result.counterexample =
+              js.certificate->map_to_original(out.counterexample);
+          std::optional<petri::Marking> final_marking =
+              reduce::replay_trace(*js.original, js.result.counterexample);
+          if (!final_marking.has_value() ||
+              !js.original->is_deadlocked(*final_marking))
+            append_error(js.result,
+                         name + " counterexample does not replay to a "
+                                "deadlock on the original net (reduction "
+                                "certificate violation)");
+        }
         js.token.cancel();
         won = true;
       } else if (out.conclusive) {
@@ -398,6 +420,20 @@ std::size_t PortfolioScheduler::submit(const JobSpec& spec) {
   if (error.empty()) {
     try {
       state->net.emplace(load_net(spec.model));
+      // Structural reduction, once per job: every racer sees the same
+      // (smaller) net, paying the reduction cost once instead of per racer.
+      auto level = reduce::parse_reduce_level(
+          spec.reduce.empty() ? "off" : spec.reduce);
+      if (level.has_value() && *level != reduce::ReduceLevel::kOff) {
+        reduce::ReduceOptions ro;
+        ro.level = *level;
+        ro.metrics = state->metrics.get();
+        reduce::ReductionResult red = reduce::reduce_net(*state->net, ro);
+        state->result.reduction = reduce::to_report_run(red.stats);
+        state->original = std::move(state->net);
+        state->certificate = std::move(red.certificate);
+        state->net.emplace(std::move(red.net));
+      }
     } catch (const std::exception& e) {
       error = e.what();
     }
@@ -553,6 +589,7 @@ void add_jobs_to_report(obs::RunReport& report,
     job.expect_matched = r.expect_matched;
     job.seconds = r.seconds;
     job.cancel_latency_seconds = r.cancel_latency_seconds;
+    job.reduction = r.reduction;
     for (const EngineOutcome& o : r.engines) {
       obs::RunReport::EngineRun er;
       er.engine = o.engine;

@@ -31,6 +31,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -67,9 +68,17 @@ struct JobResult {
   /// actually returning. The portfolio's overhead metric; 0 when nothing
   /// was cancelled.
   double cancel_latency_seconds = 0;
-  /// Every racer's outcome, in the job's engine-list order.
+  /// Net reduction applied once before the racers fanned out (the
+  /// manifest's reduce= key); nullopt when off.
+  std::optional<obs::RunReport::ReductionRun> reduction;
+  /// Every racer's outcome, in the job's engine-list order. With reduce=
+  /// these are reduced-net runs (states, counterexamples of the reduced
+  /// net); the job-level counterexample below is already mapped back.
   std::vector<EngineOutcome> engines;
-  /// Winner's counterexample (deadlock verdicts, engine permitting).
+  /// Winner's counterexample (deadlock verdicts, engine permitting), as a
+  /// firing sequence of the ORIGINAL net: with reduce= the winner's trace is
+  /// mapped through the reduction certificate and replayed on the original
+  /// net before it is stored (a replay failure appends to `error`).
   std::vector<petri::TransitionId> counterexample;
   /// The job's private telemetry scope ("engine.<name>.*" counters).
   std::shared_ptr<obs::MetricsRegistry> metrics;

@@ -47,6 +47,12 @@ void print_job(const JobResult& r) {
   if (!r.expect.empty() && !r.expect_matched)
     std::cout << " EXPECTED " << r.expect;
   if (!r.error.empty()) std::cout << " [" << r.error << "]";
+  if (r.reduction.has_value())
+    std::cout << " [reduce " << r.reduction->level << ": "
+              << r.reduction->places_before << "p/"
+              << r.reduction->transitions_before << "t -> "
+              << r.reduction->places_after << "p/"
+              << r.reduction->transitions_after << "t]";
   std::cout << "  (" << r.seconds << "s";
   if (r.cancel_latency_seconds > 0)
     std::cout << ", cancel latency " << r.cancel_latency_seconds << "s";

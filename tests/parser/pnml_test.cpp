@@ -114,6 +114,85 @@ TEST(Pnml, RejectsUnsupportedConstructs) {
                ParseError);
 }
 
+// Expects `fn` to throw a ParseError and returns it for inspection.
+ParseError capture_error(const std::string& text) {
+  try {
+    (void)parse_pnml(text);
+  } catch (const ParseError& e) {
+    return e;
+  }
+  ADD_FAILURE() << "expected ParseError for: " << text;
+  return ParseError(0, "no error");
+}
+
+TEST(Pnml, MalformedArcWeightIsADiagnosableError) {
+  // stoi's prefix parsing would accept "1x" as 1 and let "abc" escape as a
+  // bare std::invalid_argument; both must be ParseErrors naming the value.
+  for (const char* weight : {"abc", "1x", "--2", "+", "1 2"}) {
+    std::string doc = std::string(R"(<pnml><net id="n">
+      <place id="p"><initialMarking><text>1</text></initialMarking></place>
+      <transition id="t"/>
+      <arc id="a" source="p" target="t">
+        <inscription><text>)") +
+                      weight + R"(</text></inscription>
+      </arc>
+    </net></pnml>)";
+    ParseError e = capture_error(doc);
+    EXPECT_NE(std::string(e.what()).find("arc weight"), std::string::npos)
+        << "weight '" << weight << "' error: " << e.what();
+    EXPECT_NE(std::string(e.what()).find(weight), std::string::npos)
+        << "diagnostic must quote the offending value: " << e.what();
+  }
+}
+
+TEST(Pnml, MalformedInitialMarkingIsADiagnosableError) {
+  ParseError e = capture_error(R"(<pnml><net id="n">
+      <place id="p"><initialMarking><text>one</text></initialMarking></place>
+    </net></pnml>)");
+  EXPECT_NE(std::string(e.what()).find("initial marking"), std::string::npos)
+      << e.what();
+  EXPECT_NE(std::string(e.what()).find("'one'"), std::string::npos)
+      << e.what();
+}
+
+TEST(Pnml, ErrorsCarryTheOffendingLine) {
+  // The malformed arc sits on line 5 of this document (1-based).
+  ParseError arc = capture_error(
+      "<pnml><net id=\"n\">\n"       // 1
+      "  <place id=\"p\"/>\n"        // 2
+      "  <transition id=\"t\"/>\n"   // 3
+      "  <arc id=\"a\" source=\"p\" target=\"t\">\n"  // 4
+      "    <inscription><text>7</text></inscription>\n"  // 5
+      "  </arc>\n"
+      "</net></pnml>\n");
+  EXPECT_EQ(arc.line(), 4u) << arc.what();
+
+  ParseError place = capture_error(
+      "<pnml><net id=\"n\">\n"                       // 1
+      "  <place id=\"ok\"/>\n"                       // 2
+      "  <place><name><text>anon</text></name></place>\n"  // 3: no id
+      "</net></pnml>\n");
+  EXPECT_EQ(place.line(), 3u) << place.what();
+
+  ParseError weight = capture_error(
+      "<pnml><net id=\"n\">\n"                      // 1
+      "  <place id=\"p\"/>\n"                       // 2
+      "  <transition id=\"t\"/>\n"                  // 3
+      "  <arc id=\"a\" source=\"p\" target=\"t\">\n"  // 4
+      "    <inscription><text>zz</text></inscription>\n"  // 5
+      "  </arc>\n"
+      "</net></pnml>\n");
+  EXPECT_EQ(weight.line(), 5u) << weight.what();
+
+  // XML-level failures report the line too (mismatched close tag on 3).
+  ParseError xml = capture_error(
+      "<pnml>\n"       // 1
+      "  <net id=\"n\">\n"  // 2
+      "  </wrong>\n"   // 3
+      "</pnml>\n");
+  EXPECT_EQ(xml.line(), 3u) << xml.what();
+}
+
 class PnmlRoundTrip : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(PnmlRoundTrip, WriteThenParseIsIdentity) {
