@@ -18,11 +18,13 @@
 //   --parallel-out  also sweep the work-stealing engine over 1/2/4/8 threads
 //                   and emit the scaling rows (BENCH_gpo_parallel.json)
 //
-// JSON schema (schema_version 3):
-//   { "schema_version": 3, "benchmark": "bench_gpo_intern", "smoke": bool,
+// JSON schema (schema_version 4):
+//   { "schema_version": 4, "benchmark": "bench_gpo_intern", "smoke": bool,
 //     "models": [ { "model": str, "states": int, "seed_wall_ms": float,
 //                   "interned_wall_ms": float, "zdd_wall_ms": float,
-//                   "speedup": float, "peak_families": int,
+//                   "speedup": float, "mcs_enum_ms": float,
+//                   "family_ops_ms": float, "intern_wait_ns_p50": int,
+//                   "intern_wait_ns_p99": int, "peak_families": int,
 //                   "intern_calls": int, "dedup_ratio": float,
 //                   "op_cache_hit_rate": float, "families_bytes": int,
 //                   "zdd_families_bytes": int, "zdd_nodes": int,
@@ -31,6 +33,13 @@
 //                   "reduced_transitions": int, "reduced_wall_ms": float,
 //                   "reduced_speedup": float,
 //                   "verdicts_match": bool } ] }
+//   The per-phase columns split the interned run's wall: mcs_enum_ms is the
+//   candidate-MCS enumeration (plan_expansion incl. trial m_updates, the
+//   engine's mcs_seconds timer), family_ops_ms the deadlock checks plus
+//   successor construction (family_ops_seconds). intern_wait_ns_p50/p99 are
+//   genuine wait episodes inside the lock-free interner (publish-spins,
+//   migration waits) — 0 when the run never waited, which is the expected
+//   sequential value.
 //   zdd_only rows skip the explicit/interned runs (their seed/interned
 //   columns are 0) — they exist to chart the memory wall the ZDD store
 //   breaks. peak_rss_bytes is the process high-water mark sampled after the
@@ -45,15 +54,20 @@
 //   replayed on the original net) folds into verdicts_match, so any
 //   unsoundness in the pipeline fails the benchmark. zdd_only rows report
 //   the shrink but skip the reduced engine re-run (reduced_wall_ms 0).
-// Parallel sweep schema (schema_version 1):
-//   { "schema_version": 1, "benchmark": "bench_gpo_parallel", "smoke": bool,
+// Parallel sweep schema (schema_version 2):
+//   { "schema_version": 2, "benchmark": "bench_gpo_parallel", "smoke": bool,
 //     "host_cpus": int,
 //     "models": [ { "model": str, "threads": int, "states": int,
 //                   "wall_ms": float, "states_per_second": float,
 //                   "speedup_vs_1t": float, "steals": int,
-//                   "peak_frontier": int,
+//                   "fork_tasks": int, "peak_frontier": int,
 //                   "verdict_matches_sequential": bool } ] }
+//   fork_tasks counts the intra-state range tasks the analyzer forked onto
+//   the pool (candidate checks, per-transition terms, reduction-tree
+//   levels) — the fine-grained layer that actually scales on the paper's
+//   2-18-state graphs where the per-state layer has nothing to steal.
 // Exit status: 0 on success, 1 on any verdict mismatch.
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
@@ -79,6 +93,12 @@ struct Row {
   double seed_ms = 0;
   double interned_ms = 0;
   double zdd_ms = 0;
+  /// Interned-run phase split (from the engine's mcs_seconds /
+  /// family_ops_seconds timers) and interner wait-episode percentiles.
+  double mcs_enum_ms = 0;
+  double family_ops_ms = 0;
+  std::uint64_t intern_wait_ns_p50 = 0;
+  std::uint64_t intern_wait_ns_p99 = 0;
   std::size_t peak_families = 0;
   std::size_t intern_calls = 0;
   double dedup_ratio = 0;
@@ -129,6 +149,20 @@ Row run_row(const std::string& label, const PetriNet& net, double budget,
     gpo::util::Stopwatch interned_timer;
     interned = gpo::core::run_gpo(net, gpo::core::FamilyKind::kInterned, opt);
     row.interned_ms = interned_timer.elapsed_seconds() * 1000.0;
+
+    if (reg != nullptr) {
+      row.mcs_enum_ms =
+          reg->value("intern.mcs_seconds").value_or(0.0) * 1000.0;
+      row.family_ops_ms =
+          reg->value("intern.family_ops_seconds").value_or(0.0) * 1000.0;
+      for (const auto& s : reg->snapshot("intern.intern_wait_ns")) {
+        if (s.kind != gpo::obs::MetricKind::kHistogram) continue;
+        row.intern_wait_ns_p50 =
+            static_cast<std::uint64_t>(s.p50 * 1e9 + 0.5);
+        row.intern_wait_ns_p99 =
+            static_cast<std::uint64_t>(s.p99 * 1e9 + 0.5);
+      }
+    }
   }
 
   opt.metrics_prefix = "zdd.";
@@ -238,6 +272,7 @@ struct ParallelRow {
   double wall_ms = 0;
   double speedup_vs_1t = 1.0;
   std::size_t steals = 0;
+  std::size_t fork_tasks = 0;
   std::size_t peak_frontier = 0;
   bool verdict_matches = true;
 };
@@ -259,6 +294,7 @@ std::vector<ParallelRow> run_thread_sweep(const std::string& label,
     row.states = r.state_count;
     row.wall_ms = timer.elapsed_seconds() * 1000.0;
     row.steals = r.parallel.steal_count;
+    row.fork_tasks = r.parallel.fork_tasks;
     row.peak_frontier = r.parallel.peak_frontier;
     if (threads == 1) {
       base = r;
@@ -275,8 +311,8 @@ std::vector<ParallelRow> run_thread_sweep(const std::string& label,
               << row.states << std::setw(12) << std::fixed
               << std::setprecision(2) << row.wall_ms << std::setw(8)
               << std::setprecision(2) << row.speedup_vs_1t << "x"
-              << std::setw(9) << row.steals << std::setw(10)
-              << row.peak_frontier
+              << std::setw(9) << row.steals << std::setw(9) << row.fork_tasks
+              << std::setw(10) << row.peak_frontier
               << (row.verdict_matches ? "" : "  VERDICT MISMATCH") << "\n";
     rows.push_back(std::move(row));
   }
@@ -286,7 +322,7 @@ std::vector<ParallelRow> run_thread_sweep(const std::string& label,
 void write_parallel_json(std::ostream& out,
                          const std::vector<ParallelRow>& rows, bool smoke) {
   out << "{\n"
-      << "  \"schema_version\": 1,\n"
+      << "  \"schema_version\": 2,\n"
       << "  \"benchmark\": \"bench_gpo_parallel\",\n"
       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
       << "  \"host_cpus\": " << std::thread::hardware_concurrency() << ",\n"
@@ -305,6 +341,7 @@ void write_parallel_json(std::ostream& out,
         << ",\n"
         << "      \"speedup_vs_1t\": " << json_number(r.speedup_vs_1t) << ",\n"
         << "      \"steals\": " << r.steals << ",\n"
+        << "      \"fork_tasks\": " << r.fork_tasks << ",\n"
         << "      \"peak_frontier\": " << r.peak_frontier << ",\n"
         << "      \"verdict_matches_sequential\": "
         << (r.verdict_matches ? "true" : "false") << "\n"
@@ -315,7 +352,7 @@ void write_parallel_json(std::ostream& out,
 
 void write_json(std::ostream& out, const std::vector<Row>& rows, bool smoke) {
   out << "{\n"
-      << "  \"schema_version\": 3,\n"
+      << "  \"schema_version\": 4,\n"
       << "  \"benchmark\": \"bench_gpo_intern\",\n"
       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
       << "  \"models\": [\n";
@@ -329,6 +366,11 @@ void write_json(std::ostream& out, const std::vector<Row>& rows, bool smoke) {
         << ",\n"
         << "      \"zdd_wall_ms\": " << json_number(r.zdd_ms) << ",\n"
         << "      \"speedup\": " << json_number(r.speedup()) << ",\n"
+        << "      \"mcs_enum_ms\": " << json_number(r.mcs_enum_ms) << ",\n"
+        << "      \"family_ops_ms\": " << json_number(r.family_ops_ms)
+        << ",\n"
+        << "      \"intern_wait_ns_p50\": " << r.intern_wait_ns_p50 << ",\n"
+        << "      \"intern_wait_ns_p99\": " << r.intern_wait_ns_p99 << ",\n"
         << "      \"peak_families\": " << r.peak_families << ",\n"
         << "      \"intern_calls\": " << r.intern_calls << ",\n"
         << "      \"dedup_ratio\": " << json_number(r.dedup_ratio) << ",\n"
@@ -431,8 +473,7 @@ int main(int argc, char** argv) {
             << "\n";
   for (const Instance& inst : instances) {
     gpo::obs::MetricsRegistry reg;  // fresh per instance
-    Row row = run_row(inst.label, inst.net, budget, inst.zdd_only,
-                      report_path.empty() ? nullptr : &reg,
+    Row row = run_row(inst.label, inst.net, budget, inst.zdd_only, &reg,
                       report_path.empty() ? nullptr : &report);
     std::cout << std::left << std::setw(12) << row.model << std::right
               << std::setw(8) << row.states << std::setw(12) << std::fixed
@@ -471,12 +512,12 @@ int main(int argc, char** argv) {
     std::cout << "report written to " << report_path << "\n";
   }
   if (!parallel_out_path.empty()) {
-    std::cout << "\nthread sweep (work-stealing gpo-intern):\n"
+    std::cout << "\nthread sweep (fork-join gpo-intern):\n"
               << std::left << std::setw(12) << "model" << std::right
               << std::setw(5) << "thr" << std::setw(8) << "states"
               << std::setw(12) << "wall-ms" << std::setw(9) << "vs-1t"
-              << std::setw(9) << "steals" << std::setw(10) << "peak-fr"
-              << "\n";
+              << std::setw(9) << "steals" << std::setw(9) << "forks"
+              << std::setw(10) << "peak-fr" << "\n";
     std::vector<ParallelRow> prows;
     for (const Instance& inst : instances) {
       auto r = run_thread_sweep(inst.label, inst.net, budget, all_match);

@@ -668,6 +668,8 @@ int main(int argc, char** argv) {
                     : e == "gpo-bdd" ? gpo::core::FamilyKind::kBdd
                                      : gpo::core::FamilyKind::kInterned;
         auto r = gpo::core::run_gpo(*analysis_net, kind, opt);
+        for (const std::string& w : r.warnings)
+          std::cerr << "warning: " << e << ": " << w << "\n";
         row = {e, static_cast<double>(r.state_count), 0, r.deadlock_found,
                r.limit_hit, r.interrupted_phase, r.seconds};
         if (r.deadlock_found) accept_counterexample(e, r.counterexample);

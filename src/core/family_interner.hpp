@@ -16,21 +16,41 @@
 // (see src/bdd/bdd.cpp), where they are the difference between exponential
 // and near-linear behaviour.
 //
-// Concurrency (PR 5): the interner is safe to share across the parallel GPN
-// engine's worker threads. The design keeps the sequential fast path intact:
-//   * The arena is insert-only and never moves an entry: a two-level radix of
-//     fixed-size chunks published with a release-CAS, so family(id)/hash_of(id)
-//     are lock-free loads and a FamilyId stays valid forever.
-//   * The unique table is striped: interning locks only the stripe the content
-//     hash routes to, so distinct families intern in parallel while equal
-//     families serialize (guaranteeing one id per canonical value).
+// Concurrency v2 (this PR — see DESIGN.md "Lock-free unique table"): the
+// intra-state parallel engine turns every worker into a continuous intern
+// stream, and the PR 4 64-stripe mutex table became the shared bottleneck.
+// The unique table is now genuinely lock-free on its fast paths:
+//   * One atomic 64-bit word per slot, packing [tag:32 | id_plus_1:32] where
+//     the tag is 30 bits of the routed hash with the top bit forced set, so
+//     0 unambiguously means "empty". Slots are write-once: empty -> claimed
+//     (tag published, id still 0) -> published (id filled in, release
+//     store). A claimant is the unique creator of its canonical family, so
+//     ids stay dense and exactly one arena slot is ever allocated per value.
+//   * Probes are acquire loads; an equal-tag claim that is not yet published
+//     is spun on (the only wait on the insert path, timed into the optional
+//     intern-wait histogram). The arena write happens before the publishing
+//     release store, so a reader that acquires the published word may read
+//     the family without further synchronization.
+//   * Growth is cooperative: the thread that trips the load factor installs
+//     a double-size successor table with one CAS, then every inserting
+//     thread helps migrate — empty slots are frozen (CAS 0 -> FROZEN so no
+//     late claim can land in the dying table), claimed slots are waited out,
+//     published slots are re-probed into the successor. Tables are
+//     insert-only, so migration never races a delete and retired tables are
+//     kept until the interner dies (no reclamation protocol needed).
+//   * The arena is an insert-only radix of geometrically growing segments
+//     (64, 128, 256, ... slots) published with a release-CAS, so family(id)/
+//     hash_of(id) stay lock-free loads, a FamilyId stays valid forever, and
+//     a tiny model touches a few KB instead of the old fixed 4096-slot
+//     chunk + 64K-pointer directory (the diamond:8 setup-cost fix).
 //   * The computed table is per-thread (registered on first use, found via a
-//     thread-local serial check), so the hot memoization path takes no lock
-//     and shares no cache lines between workers. stats() aggregates every
+//     thread-local serial check) and now lazily sized: it starts at 1K slots
+//     and doubles (dropping contents — it is a cache) as its occupancy
+//     crosses 3/4, up to the configured bound. stats() aggregates every
 //     thread's hit/miss counters; in the engine this happens at join time.
-// Single-threaded runs see exactly the old behaviour: ids are assigned densely
-// in intern order and the arena is byte-identical with the cache on or off
-// (the property test relies on this).
+// Single-threaded runs see exactly the old behaviour: ids are assigned
+// densely in intern order and the arena is byte-identical with the cache on
+// or off (the property test relies on this).
 //
 // InternedFamily is the third interchangeable family representation (next to
 // ExplicitFamily and BddFamily in set_family.hpp): a {interner, id} handle
@@ -40,6 +60,8 @@
 #pragma once
 
 #include <atomic>
+#include <bit>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -49,6 +71,7 @@
 
 #include "core/gpo_result.hpp"
 #include "core/set_family.hpp"
+#include "obs/histogram.hpp"
 #include "util/hash.hpp"
 
 namespace gpo::core {
@@ -71,11 +94,14 @@ struct FamilyInternerStats {
   /// Colliding overwrites of an occupied computed-table slot: the capacity
   /// component of the miss stream (misses - evictions ≈ compulsory misses).
   std::size_t op_cache_evictions = 0;
-  /// Slots ever written, summed over per-thread caches.
+  /// Slots currently written, summed over per-thread caches.
   std::size_t op_cache_occupied = 0;
-  /// Total slots across per-thread caches (entries × registered threads).
+  /// Total slots across per-thread caches (current sizes summed).
   std::size_t op_cache_capacity = 0;
   std::size_t families_bytes = 0;  ///< payload bytes of the canonical arena
+  /// Lock-free unique table: current slot count and completed growths.
+  std::size_t unique_table_capacity = 0;
+  std::size_t unique_table_growths = 0;
 
   /// Families that would have been constructed/stored without hash-consing,
   /// per family actually stored.
@@ -99,25 +125,32 @@ struct FamilyInternerStats {
 ///
 /// Thread-safety contract:
 ///   * intern() and every operation (intersect/unite/subtract/containing,
-///     single/from_sets/...) may be called concurrently.
+///     single/from_sets/...) may be called concurrently; none of them takes
+///     a lock on its fast path (the only mutexes guard the rare table-
+///     registration events: a new growth table, a new thread cache).
 ///   * family(id)/hash_of(id) are lock-free; they are safe for an id the
 ///     calling thread produced itself, or one received through a
 ///     synchronizing channel from the producing thread (the parallel
-///     engine's work queues and thread join provide that happens-before).
+///     engine's work queues, fork-join joins and thread join provide that
+///     happens-before).
 ///   * size()/stats() are exact once the calling threads quiesce.
 class FamilyInterner {
  public:
   explicit FamilyInterner(std::size_t num_transitions,
-                          std::size_t op_cache_entries = std::size_t{1} << 16)
+                          std::size_t op_cache_entries = std::size_t{1} << 16,
+                          std::size_t initial_table_capacity = 256)
       : num_transitions_(num_transitions),
         base_(num_transitions),
-        serial_(next_serial()),
-        stripes_(kStripeCount),
-        dir_(std::make_unique<std::atomic<ArenaSlot*>[]>(kDirSize)) {
-    // Round the computed-table size to a power of two for mask indexing.
+        serial_(next_serial()) {
+    // Round both sizes to powers of two for mask indexing.
     std::size_t entries = 1;
     while (entries < op_cache_entries) entries <<= 1;
     op_cache_entries_ = entries;
+    std::size_t cap = 4;  // floor: claim + frozen headroom even in tests
+    while (cap < initial_table_capacity) cap <<= 1;
+    auto first = std::make_unique<Table>(cap);
+    table_.store(first.get(), std::memory_order_relaxed);
+    tables_.push_back(std::move(first));
     // Pin kEmptyFamilyId == 0: the empty family lives at arena slot 0 and
     // intern() short-circuits on emptiness, so it never hits the table.
     ExplicitFamily e = base_.empty();
@@ -130,43 +163,74 @@ class FamilyInterner {
   FamilyInterner& operator=(const FamilyInterner&) = delete;
 
   ~FamilyInterner() {
-    for (std::size_t c = 0; c < kDirSize; ++c)
-      delete[] dir_[c].load(std::memory_order_relaxed);
+    for (std::size_t s = 0; s < kMaxSegments; ++s)
+      delete[] dir_[s].load(std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::size_t num_transitions() const { return num_transitions_; }
 
   /// Canonicalizes `f`: returns the id of the arena family equal to it,
   /// storing it first if it is new. The content hash is computed once here
-  /// and cached for the family's lifetime. Thread-safe: equal families route
-  /// to the same stripe, whose mutex serializes the lookup-or-insert.
+  /// and cached for the family's lifetime. Thread-safe and lock-free except
+  /// for the publish-spin on a racing equal-tag claim and the cooperative
+  /// migration when the table grows.
   FamilyId intern(ExplicitFamily f) {
     intern_calls_.fetch_add(1, std::memory_order_relaxed);
     if (f.is_empty()) return kEmptyFamilyId;
     const std::size_t h = f.hash();
     const std::uint64_t route = util::mix64(h);
-    Stripe& stripe = stripes_[route & (kStripeCount - 1)];
-    std::lock_guard<std::mutex> lock(stripe.mu);
-    if ((stripe.count + 1) * 4 > stripe.slots.size() * 3) stripe.grow();
-    const std::size_t mask = stripe.slots.size() - 1;
-    std::size_t i = (route >> kStripeBits) & mask;
+    const std::uint64_t tag =
+        kTagClaimBit | ((route >> 34) & kTagHashMask);  // != 0, != frozen tag
+
     while (true) {
-      TableSlot& slot = stripe.slots[i];
-      if (slot.id_plus_1 == 0) {
-        // New canonical family: allocate the next dense id, publish the
-        // payload into the arena *before* the table slot (both writes are
-        // ordered by this stripe's mutex for later equal-family lookups, and
-        // by the chunk's release-CAS + the caller's own synchronization for
-        // lock-free family(id) readers).
-        FamilyId id = allocate(std::move(f), h);
-        slot.hash = h;
-        slot.id_plus_1 = id + 1;
-        ++stripe.count;
-        return id;
+      Table* t = table_.load(std::memory_order_acquire);
+      if (t->next.load(std::memory_order_acquire) != nullptr) {
+        help_migrate(*t);
+        continue;  // reload table_, now (or soon) the successor
       }
-      if (slot.hash == h && family(slot.id_plus_1 - 1) == f)
-        return slot.id_plus_1 - 1;
-      i = (i + 1) & mask;
+      std::size_t i = route & t->mask;
+      bool table_died = false;
+      while (!table_died) {
+        std::uint64_t e = t->slots[i].load(std::memory_order_acquire);
+        if (e == kFrozenSlot) {
+          table_died = true;  // migration beat us to this slot
+          break;
+        }
+        if (e == 0) {
+          if ((t->used.load(std::memory_order_relaxed) + 1) * 4 >
+              (t->mask + 1) * 3) {
+            grow(*t);
+            table_died = true;
+            break;
+          }
+          std::uint64_t expected = 0;
+          if (t->slots[i].compare_exchange_strong(expected, tag << 32,
+                                                  std::memory_order_acq_rel,
+                                                  std::memory_order_acquire)) {
+            // We are the unique creator: allocate the next dense id, then
+            // publish it. The arena writes in allocate() happen-before this
+            // release store, so any thread that acquires the published word
+            // may read the family lock-free.
+            FamilyId id = allocate(std::move(f), h);
+            t->slots[i].store((tag << 32) | (std::uint64_t{id} + 1),
+                              std::memory_order_release);
+            t->used.fetch_add(1, std::memory_order_relaxed);
+            return id;
+          }
+          continue;  // lost the claim; re-examine the slot
+        }
+        if ((e >> 32) == tag) {
+          e = wait_published(*t, i, e);
+          const FamilyId id =
+              static_cast<FamilyId>((e & 0xFFFFFFFFull) - 1);
+          if (hash_of(id) == h && family(id) == f) return id;
+        }
+        i = (i + 1) & t->mask;
+      }
+      // Fell off a dying table: help finish its migration, then retry on
+      // the successor (our family may have been inserted there meanwhile —
+      // the retry probe will find it).
+      help_migrate(*t);
     }
   }
 
@@ -231,6 +295,8 @@ class FamilyInterner {
   [[nodiscard]] bool op_cache_enabled() const {
     return op_cache_enabled_.load(std::memory_order_relaxed);
   }
+  /// Upper bound one thread's computed table may grow to (slots start at
+  /// 1K and double on occupancy, so tiny models never pay for this).
   [[nodiscard]] std::size_t op_cache_entries() const {
     return op_cache_entries_;
   }
@@ -240,6 +306,22 @@ class FamilyInterner {
     return caches_.size();
   }
 
+  /// Optional wait histogram: every genuine wait inside intern() — spinning
+  /// on a racing claim's publish, or helping/awaiting a table migration —
+  /// records its duration in nanoseconds. The uncontended fast path never
+  /// reads a clock. Pass nullptr to detach.
+  void set_wait_histogram(obs::Histogram* h) {
+    wait_hist_.store(h, std::memory_order_relaxed);
+  }
+
+  /// Current unique-table slot count (exact once growers quiesce).
+  [[nodiscard]] std::size_t unique_table_capacity() const {
+    return table_.load(std::memory_order_acquire)->mask + 1;
+  }
+  [[nodiscard]] std::size_t unique_table_growths() const {
+    return grow_count_.load(std::memory_order_relaxed);
+  }
+
   /// Aggregated counters: arena totals plus every thread's cache hits and
   /// misses. Exact once the operating threads quiesce (engine join time).
   [[nodiscard]] FamilyInternerStats stats() const {
@@ -247,6 +329,8 @@ class FamilyInterner {
     s.distinct_families = size();
     s.intern_calls = intern_calls_.load(std::memory_order_relaxed);
     s.families_bytes = families_bytes_.load(std::memory_order_relaxed);
+    s.unique_table_capacity = unique_table_capacity();
+    s.unique_table_growths = unique_table_growths();
     std::lock_guard<std::mutex> lock(caches_mu_);
     for (const ThreadCache& tc : caches_) {
       s.op_cache_hits += tc.cache->hits.load(std::memory_order_relaxed);
@@ -255,7 +339,8 @@ class FamilyInterner {
           tc.cache->evictions.load(std::memory_order_relaxed);
       s.op_cache_occupied +=
           tc.cache->occupied.load(std::memory_order_relaxed);
-      s.op_cache_capacity += op_cache_entries_;
+      s.op_cache_capacity +=
+          tc.cache->capacity.load(std::memory_order_relaxed);
     }
     return s;
   }
@@ -278,16 +363,20 @@ class FamilyInterner {
     std::uint8_t op = 0;
   };
 
-  /// Per-thread computed table. Slots are touched only by the owning thread;
-  /// the hit/miss tallies are relaxed atomics so stats() may read them while
-  /// the owner still runs.
+  /// Per-thread computed table. Slots are touched only by the owning thread
+  /// (including the occupancy-triggered doubling, which drops the contents —
+  /// it is a cache); the tallies are relaxed atomics so stats() may read
+  /// them while the owner still runs.
   struct OpCache {
-    explicit OpCache(std::size_t entries) : slots(entries) {}
+    explicit OpCache(std::size_t initial) : slots(initial) {
+      capacity.store(initial, std::memory_order_relaxed);
+    }
     std::vector<CacheEntry> slots;
     std::atomic<std::size_t> hits{0};
     std::atomic<std::size_t> misses{0};
     std::atomic<std::size_t> evictions{0};
     std::atomic<std::size_t> occupied{0};
+    std::atomic<std::size_t> capacity{0};
   };
 
   struct ThreadCache {
@@ -295,31 +384,67 @@ class FamilyInterner {
     std::unique_ptr<OpCache> cache;
   };
 
-  // -- arena: two-level radix of never-moving chunks ------------------------
+  /// Times one wait episode into the optional histogram; reads the clock
+  /// only when a wait actually happens.
+  class WaitTimer {
+   public:
+    explicit WaitTimer(const std::atomic<obs::Histogram*>& slot)
+        : h_(slot.load(std::memory_order_relaxed)),
+          start_(h_ != nullptr ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{}) {}
+    WaitTimer(const WaitTimer&) = delete;
+    WaitTimer& operator=(const WaitTimer&) = delete;
+    ~WaitTimer() {
+      if (h_ == nullptr) return;
+      auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+      h_->record(static_cast<std::uint64_t>(ns));
+    }
+
+   private:
+    obs::Histogram* h_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  // -- arena: radix of never-moving, geometrically growing segments ---------
 
   struct ArenaSlot {
     ExplicitFamily family;
     std::size_t hash = 0;
   };
 
-  static constexpr std::size_t kChunkBits = 12;  // 4096 families per chunk
-  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
-  static constexpr std::size_t kDirSize = std::size_t{1} << 16;
-  // kDirSize * kChunkSize = 2^28 ids — far above kInvalidFamilyId concerns
-  // for real nets; exceeding it throws below.
+  // Segment s holds 64 << s slots starting at id ((1 << s) - 1) * 64, so the
+  // first segment is 64 families (a tiny model touches ~KBs, not the old
+  // 4096-slot chunk) and 24 segments cover the full 2^28 id budget.
+  static constexpr std::size_t kSeg0Bits = 6;
+  static constexpr std::size_t kMaxSegments = 24;
+  static constexpr std::size_t kMaxFamilies = std::size_t{1} << 28;
 
-  [[nodiscard]] const ArenaSlot& slot_at(FamilyId id) const {
-    const ArenaSlot* chunk =
-        dir_[id >> kChunkBits].load(std::memory_order_acquire);
-    return chunk[id & (kChunkSize - 1)];
+  [[nodiscard]] static std::size_t segment_of(FamilyId id) {
+    return static_cast<std::size_t>(
+               std::bit_width((std::uint64_t{id} >> kSeg0Bits) + 1)) -
+           1;
+  }
+  [[nodiscard]] static FamilyId segment_start(std::size_t s) {
+    return static_cast<FamilyId>(((std::size_t{1} << s) - 1) << kSeg0Bits);
+  }
+  [[nodiscard]] static std::size_t segment_size(std::size_t s) {
+    return std::size_t{1} << (kSeg0Bits + s);
   }
 
-  [[nodiscard]] ArenaSlot* chunk_for(std::size_t c) {
-    ArenaSlot* chunk = dir_[c].load(std::memory_order_acquire);
-    if (chunk != nullptr) return chunk;
-    ArenaSlot* fresh = new ArenaSlot[kChunkSize];
+  [[nodiscard]] const ArenaSlot& slot_at(FamilyId id) const {
+    const std::size_t s = segment_of(id);
+    const ArenaSlot* seg = dir_[s].load(std::memory_order_acquire);
+    return seg[id - segment_start(s)];
+  }
+
+  [[nodiscard]] ArenaSlot* segment_for(std::size_t s) {
+    ArenaSlot* seg = dir_[s].load(std::memory_order_acquire);
+    if (seg != nullptr) return seg;
+    ArenaSlot* fresh = new ArenaSlot[segment_size(s)];
     ArenaSlot* expected = nullptr;
-    if (dir_[c].compare_exchange_strong(expected, fresh,
+    if (dir_[s].compare_exchange_strong(expected, fresh,
                                         std::memory_order_acq_rel,
                                         std::memory_order_acquire))
       return fresh;
@@ -327,17 +452,18 @@ class FamilyInterner {
     return expected;
   }
 
-  /// Stores `f` at the next dense id. Caller must guarantee uniqueness
-  /// (the stripe lock does, for everything but the pinned empty family).
+  /// Stores `f` at the next dense id. Caller must guarantee uniqueness (the
+  /// unique table's claim protocol does, for everything but the pinned
+  /// empty family).
   FamilyId allocate(ExplicitFamily f, std::size_t h) {
     const std::uint64_t raw = next_id_.load(std::memory_order_relaxed);
-    if (raw >= kDirSize * kChunkSize || raw >= kInvalidFamilyId)
+    if (raw >= kMaxFamilies || raw >= kInvalidFamilyId)
       throw std::length_error("FamilyInterner: id space exhausted");
     const FamilyId id = static_cast<FamilyId>(
         next_id_alloc_.fetch_add(1, std::memory_order_relaxed));
     families_bytes_.fetch_add(f.memory_bytes(), std::memory_order_relaxed);
-    ArenaSlot* chunk = chunk_for(id >> kChunkBits);
-    ArenaSlot& slot = chunk[id & (kChunkSize - 1)];
+    const std::size_t s = segment_of(id);
+    ArenaSlot& slot = segment_for(s)[id - segment_start(s)];
     slot.family = std::move(f);
     slot.hash = h;
     // size() counts only fully published families: bump the visible bound
@@ -350,33 +476,121 @@ class FamilyInterner {
     return id;
   }
 
-  // -- striped unique table -------------------------------------------------
+  // -- lock-free unique table -----------------------------------------------
+  //
+  // Slot word: 0 = empty; kFrozenSlot = migrated-away (growth only);
+  // otherwise [tag:32 | id_plus_1:32] with id_plus_1 == 0 while the claimant
+  // is still allocating. Tags carry kTagClaimBit and 30 hash bits, so they
+  // can collide with neither 0 nor the frozen sentinel's 0xFFFFFFFF.
 
-  static constexpr std::size_t kStripeCount = 64;  // power of two
-  static constexpr unsigned kStripeBits = 6;
+  static constexpr std::uint64_t kTagClaimBit = 0x80000000ull;
+  static constexpr std::uint64_t kTagHashMask = 0x3FFFFFFFull;
+  static constexpr std::uint64_t kFrozenSlot = 0xFFFFFFFF00000000ull;
 
-  struct TableSlot {
-    std::size_t hash = 0;
-    std::uint64_t id_plus_1 = 0;  // 0 = empty
+  struct Table {
+    explicit Table(std::size_t capacity)
+        : mask(capacity - 1),
+          slots(std::make_unique<std::atomic<std::uint64_t>[]>(capacity)) {}
+    std::size_t mask;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> slots;  // value-init: empty
+    std::atomic<std::size_t> used{0};
+    std::atomic<Table*> next{nullptr};     // successor once growth starts
+    std::atomic<std::size_t> migrate_pos{0};  // cooperative migration cursor
+    std::atomic<std::size_t> migrated{0};     // slots fully dealt with
   };
 
-  struct Stripe {
-    std::mutex mu;
-    std::vector<TableSlot> slots = std::vector<TableSlot>(64);
-    std::size_t count = 0;
-
-    void grow() {
-      std::vector<TableSlot> bigger(slots.size() * 2);
-      const std::size_t mask = bigger.size() - 1;
-      for (const TableSlot& s : slots) {
-        if (s.id_plus_1 == 0) continue;
-        std::size_t i = (util::mix64(s.hash) >> kStripeBits) & mask;
-        while (bigger[i].id_plus_1 != 0) i = (i + 1) & mask;
-        bigger[i] = s;
-      }
-      slots = std::move(bigger);
+  /// Spins until the claimed slot publishes its id (the claimant is in
+  /// allocate(); claimed slots are never frozen, so this terminates with a
+  /// published word).
+  std::uint64_t wait_published(Table& t, std::size_t i, std::uint64_t e) {
+    if ((e & 0xFFFFFFFFull) != 0) return e;
+    WaitTimer wait(wait_hist_);
+    while ((e & 0xFFFFFFFFull) == 0) {
+      std::this_thread::yield();
+      e = t.slots[i].load(std::memory_order_acquire);
     }
-  };
+    return e;
+  }
+
+  /// Installs a double-size successor (first CAS wins) and helps migrate.
+  void grow(Table& t) {
+    if (t.next.load(std::memory_order_acquire) == nullptr) {
+      auto fresh = std::make_unique<Table>((t.mask + 1) * 2);
+      Table* expected = nullptr;
+      if (t.next.compare_exchange_strong(expected, fresh.get(),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+        grow_count_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(tables_mu_);
+        tables_.push_back(std::move(fresh));
+      }
+      // else: lost the race; fresh is freed here, the winner's table stands.
+    }
+    help_migrate(t);
+  }
+
+  /// Cooperative migration: claim 64-slot chunks of the dying table, freeze
+  /// empties (so no claim can land behind the sweep), wait out in-flight
+  /// claims, re-probe published entries into the successor. Blocks until
+  /// every chunk (including other helpers') is done, then swings table_.
+  void help_migrate(Table& t) {
+    Table* next = t.next.load(std::memory_order_acquire);
+    if (next == nullptr) return;
+    const std::size_t cap = t.mask + 1;
+    constexpr std::size_t kChunk = 64;
+    while (true) {
+      const std::size_t start =
+          t.migrate_pos.fetch_add(kChunk, std::memory_order_relaxed);
+      if (start >= cap) break;
+      const std::size_t end = std::min(start + kChunk, cap);
+      for (std::size_t i = start; i < end; ++i) {
+        std::uint64_t e = t.slots[i].load(std::memory_order_acquire);
+        while (true) {
+          if (e == kFrozenSlot) break;
+          if (e == 0) {
+            if (t.slots[i].compare_exchange_weak(e, kFrozenSlot,
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_acquire))
+              break;
+            continue;  // e reloaded by the failed CAS
+          }
+          if ((e & 0xFFFFFFFFull) == 0) {  // in-flight claim: wait it out
+            std::this_thread::yield();
+            e = t.slots[i].load(std::memory_order_acquire);
+            continue;
+          }
+          reinsert(*next, e);
+          break;
+        }
+      }
+      t.migrated.fetch_add(end - start, std::memory_order_acq_rel);
+    }
+    if (t.migrated.load(std::memory_order_acquire) < cap) {
+      WaitTimer wait(wait_hist_);
+      while (t.migrated.load(std::memory_order_acquire) < cap)
+        std::this_thread::yield();
+    }
+    Table* cur = &t;
+    table_.compare_exchange_strong(cur, next, std::memory_order_acq_rel,
+                                   std::memory_order_acquire);
+  }
+
+  /// Moves one published word into the successor. Every old slot is owned by
+  /// exactly one migrator and distinct slots hold distinct families, so a
+  /// plain claim-first-empty probe cannot create duplicates.
+  void reinsert(Table& next, std::uint64_t e) {
+    const FamilyId id = static_cast<FamilyId>((e & 0xFFFFFFFFull) - 1);
+    const std::uint64_t route = util::mix64(hash_of(id));
+    std::size_t i = route & next.mask;
+    std::uint64_t expected = 0;
+    while (!next.slots[i].compare_exchange_strong(expected, e,
+                                                  std::memory_order_acq_rel,
+                                                  std::memory_order_acquire)) {
+      expected = 0;
+      i = (i + 1) & next.mask;
+    }
+    next.used.fetch_add(1, std::memory_order_relaxed);
+  }
 
   // -- per-thread computed tables -------------------------------------------
 
@@ -407,18 +621,39 @@ class FamilyInterner {
     std::lock_guard<std::mutex> lock(caches_mu_);
     for (const ThreadCache& tc : caches_)
       if (tc.tid == me) return tc.cache.get();
-    caches_.push_back({me, std::make_unique<OpCache>(op_cache_entries_)});
+    caches_.push_back(
+        {me, std::make_unique<OpCache>(
+                 std::min<std::size_t>(op_cache_entries_, 1024))});
     return caches_.back().cache.get();
+  }
+
+  static std::size_t cache_slot(Op op, FamilyId a, FamilyId b,
+                                std::size_t size) {
+    return static_cast<std::size_t>(
+               util::mix64((std::uint64_t{a} << 34) ^
+                           (std::uint64_t{op} << 32) ^ std::uint64_t{b})) &
+           (size - 1);
+  }
+
+  /// Doubles the computed table, rehashing the live entries. Collision-free:
+  /// an old slot holds one entry and distinct old slots differ in their low
+  /// index bits, so no two entries land on the same doubled slot. Occupancy
+  /// and hit history are preserved exactly — growth is invisible except in
+  /// the capacity counter.
+  static void grow_cache(OpCache& c) {
+    std::vector<CacheEntry> next(c.slots.size() * 2);
+    for (const CacheEntry& e : c.slots)
+      if (e.a != kInvalidFamilyId)
+        next[cache_slot(static_cast<Op>(e.op), e.a, e.b, next.size())] = e;
+    c.slots = std::move(next);
+    c.capacity.store(c.slots.size(), std::memory_order_relaxed);
   }
 
   FamilyId cached_apply(Op op, FamilyId a, FamilyId b) {
     OpCache* cache = op_cache_enabled() ? &local_cache() : nullptr;
     std::size_t slot = 0;
     if (cache != nullptr) {
-      slot = static_cast<std::size_t>(
-                 util::mix64((std::uint64_t{a} << 34) ^
-                             (std::uint64_t{op} << 32) ^ std::uint64_t{b})) &
-             (op_cache_entries_ - 1);
+      slot = cache_slot(op, a, b, cache->slots.size());
       const CacheEntry& e = cache->slots[slot];
       if (e.a == a && e.b == b && e.op == op) {
         cache->hits.fetch_add(1, std::memory_order_relaxed);
@@ -434,6 +669,23 @@ class FamilyInterner {
                            : fa.containing(static_cast<petri::TransitionId>(b));
     FamilyId id = intern(std::move(r));
     if (cache != nullptr) {
+      // Lazy sizing: below the configured bound the table doubles (rehashing
+      // its contents) instead of evicting, on either 3/4 occupancy or a
+      // colliding overwrite. Tiny models therefore never touch megabytes,
+      // and a nonzero eviction count genuinely means the configured bound
+      // is too small.
+      while (cache->slots.size() < op_cache_entries_) {
+        const CacheEntry& tenant = cache->slots[slot];
+        const bool collides =
+            tenant.a != kInvalidFamilyId &&
+            (tenant.a != a || tenant.b != b || tenant.op != op);
+        const bool crowded =
+            (cache->occupied.load(std::memory_order_relaxed) + 1) * 4 >
+            cache->slots.size() * 3;
+        if (!collides && !crowded) break;
+        grow_cache(*cache);
+        slot = cache_slot(op, a, b, cache->slots.size());
+      }
       CacheEntry& e = cache->slots[slot];
       if (e.a == kInvalidFamilyId)
         cache->occupied.fetch_add(1, std::memory_order_relaxed);
@@ -449,10 +701,16 @@ class FamilyInterner {
   std::uint64_t serial_;  // unique per interner instance, for the TLS lookup
   std::size_t op_cache_entries_ = 0;
 
-  std::vector<Stripe> stripes_;
-  std::unique_ptr<std::atomic<ArenaSlot*>[]> dir_;
+  std::atomic<Table*> table_{nullptr};
+  mutable std::mutex tables_mu_;
+  std::vector<std::unique_ptr<Table>> tables_;  // all generations, owned
+  std::atomic<std::size_t> grow_count_{0};
+
+  std::atomic<ArenaSlot*> dir_[kMaxSegments] = {};
   std::atomic<std::uint64_t> next_id_alloc_{0};  // ids handed out
   std::atomic<std::uint64_t> next_id_{0};        // ids fully published
+
+  std::atomic<obs::Histogram*> wait_hist_{nullptr};
 
   mutable std::mutex caches_mu_;
   std::vector<ThreadCache> caches_;

@@ -29,6 +29,25 @@
 // from multiple threads at once; the parallel engine
 // (parallel_gpn_analyzer.hpp) relies on this, plus the shared helpers
 // replay_scenario / run_delegated / apply_ignoring_guard below.
+//
+// Two evaluation-strategy levers live inside the semantic methods (see
+// DESIGN.md "Intra-state parallelism"):
+//   * The big unions over all transitions (r' in m_update, the enabled-union
+//     of the deadlock check) are evaluated as balanced n-ary reduction trees
+//     instead of left folds. Union is associative and commutative over
+//     canonical families, so the result is value-identical; the balanced
+//     shape keeps both operands of every node small and — under the interner
+//     — turns the per-state accumulator chains (unique to each state, so
+//     never a cache hit) into pairwise subtree unions that recur across
+//     states. This is a measured single-thread win on the scenario-heavy
+//     models before any threading.
+//   * When GpoOptions::task_pool is set, per-transition term computation,
+//     candidate-MCS trial checks and the large reduction-tree levels are
+//     forked onto the pool as index-addressed range tasks. Chunk boundaries
+//     and the tree shape are pure functions of the term count, every task
+//     writes only its own slots, and the merge happens in index order — so
+//     verdicts, state counts and counterexamples are bitwise independent of
+//     scheduling.
 #pragma once
 
 #include <algorithm>
@@ -46,6 +65,7 @@
 #include "reach/explorer.hpp"
 #include "util/hash.hpp"
 #include "util/stopwatch.hpp"
+#include "util/task_pool.hpp"
 
 namespace gpo::core {
 
@@ -116,7 +136,11 @@ class GpnAnalyzer {
   using State = GpnState<Family>;
 
   GpnAnalyzer(const petri::PetriNet& net, Context& ctx, GpoOptions options = {})
-      : net_(net), ctx_(ctx), conflicts_(net), options_(options) {}
+      : net_(net),
+        ctx_(ctx),
+        conflicts_(net),
+        options_(options),
+        pool_(options.task_pool) {}
 
   // -- GPN semantics (exposed for unit tests and the examples) -------------
 
@@ -183,23 +207,28 @@ class GpnAnalyzer {
     // m_enabled per fired transition, indexed by transition id through a flat
     // side table — this sits in the hottest loop and a per-call hash map
     // would allocate buckets for every successor.
-    std::vector<Family> me;
-    me.reserve(fired.size());
+    std::vector<Family> me(fired.size(), ctx_.empty());
     std::vector<std::uint32_t> me_index(nt, UINT32_MAX);
-    for (petri::TransitionId t : fired) {
-      me_index[t] = static_cast<std::uint32_t>(me.size());
-      me.push_back(m_enabled(t, s));
-    }
+    for (std::size_t i = 0; i < fired.size(); ++i)
+      me_index[fired[i]] = static_cast<std::uint32_t>(i);
+    for_range(fired.size(), kCheapGrain,
+              [&](std::size_t i) { me[i] = m_enabled(fired[i], s); });
 
-    // r' = U_{t not in T'} s_enabled(t,s)  ∪  U_{t in T'} m_enabled(t,s)
-    Family r_next = ctx_.empty();
-    for (petri::TransitionId t = 0; t < nt; ++t)
-      r_next =
-          r_next.unite(in_fired.test(t) ? me[me_index[t]] : s_enabled(t, s));
+    // r' = U_{t not in T'} s_enabled(t,s)  ∪  U_{t in T'} m_enabled(t,s),
+    // evaluated as a balanced reduction tree over the per-transition terms.
+    std::vector<Family> terms(nt, ctx_.empty());
+    for_range(nt, kCheapGrain, [&](std::size_t t) {
+      terms[t] = in_fired.test(t)
+                     ? me[me_index[t]]
+                     : s_enabled(static_cast<petri::TransitionId>(t), s);
+    });
+    Family r_next = balanced_unite(terms);
 
-    std::vector<Family> marking;
-    marking.reserve(net_.place_count());
-    for (petri::PlaceId p = 0; p < net_.place_count(); ++p) {
+    // The per-place updates are independent of each other: index-addressed
+    // slots, forked as one range task per chunk of places.
+    std::vector<Family> marking(net_.place_count(), ctx_.empty());
+    for_range(net_.place_count(), kCheapGrain, [&](std::size_t pi) {
+      const petri::PlaceId p = static_cast<petri::PlaceId>(pi);
       Family removed = ctx_.empty();
       Family added = ctx_.empty();
       bool consumed = false, produced = false;
@@ -216,14 +245,14 @@ class GpnAnalyzer {
         }
       }
       if (!consumed && !produced) {
-        marking.push_back(s.marking[p].intersect(r_next));
+        marking[p] = s.marking[p].intersect(r_next);
       } else {
         Family m = consumed ? s.marking[p].subtract(removed)
                             : s.marking[p].unite(added);
         if (consumed && produced) m = m.unite(added);
-        marking.push_back(m.intersect(r_next));
+        marking[p] = m.intersect(r_next);
       }
-    }
+    });
     return State(std::move(marking), std::move(r_next));
   }
 
@@ -251,9 +280,11 @@ class GpnAnalyzer {
   [[nodiscard]] std::optional<TransitionSet> deadlock_scenario(
       const State& s,
       std::optional<petri::PlaceId> required_place = std::nullopt) const {
-    Family enabled_union = ctx_.empty();
-    for (petri::TransitionId t = 0; t < net_.transition_count(); ++t)
-      enabled_union = enabled_union.unite(s_enabled(t, s));
+    std::vector<Family> terms(net_.transition_count(), ctx_.empty());
+    for_range(terms.size(), kCheapGrain, [&](std::size_t t) {
+      terms[t] = s_enabled(static_cast<petri::TransitionId>(t), s);
+    });
+    Family enabled_union = balanced_unite(terms);
     Family missing = s.r.subtract(enabled_union);
     if (required_place) missing = missing.intersect(s.marking[*required_place]);
     if (missing.is_empty()) return std::nullopt;
@@ -300,11 +331,25 @@ class GpnAnalyzer {
 
   /// Scratch-vector variant (out is cleared first): the main loops keep one
   /// vector alive across states so the per-state allocation disappears.
+  /// With a pool, the per-transition enabledness checks fork as range tasks
+  /// over an index-addressed flag array; the compaction into `out` happens
+  /// in transition order either way.
   void single_enabled_transitions(const State& s,
                                   std::vector<petri::TransitionId>& out) const {
     out.clear();
-    for (petri::TransitionId t = 0; t < net_.transition_count(); ++t)
-      if (!s_enabled(t, s).is_empty()) out.push_back(t);
+    const std::size_t nt = net_.transition_count();
+    if (pool_ == nullptr) {
+      for (petri::TransitionId t = 0; t < nt; ++t)
+        if (!s_enabled(t, s).is_empty()) out.push_back(t);
+      return;
+    }
+    std::vector<std::uint8_t> enabled(nt, 0);
+    for_range(nt, kCheapGrain, [&](std::size_t t) {
+      enabled[t] =
+          s_enabled(static_cast<petri::TransitionId>(t), s).is_empty() ? 0 : 1;
+    });
+    for (petri::TransitionId t = 0; t < nt; ++t)
+      if (enabled[t] != 0) out.push_back(t);
   }
 
   // -- Shared machinery (used by explore() and the parallel engine) --------
@@ -493,10 +538,62 @@ class GpnAnalyzer {
     std::size_t operator()(const State& s) const { return s.hash(); }
   };
 
+  // Fork grains. Family ops run microseconds to milliseconds each, so even
+  // small ranges are worth splitting; a slightly coarser grain for the
+  // per-transition term loops keeps the fork count proportionate, while the
+  // candidate trial checks (a full m_update each) split down to singletons.
+  static constexpr std::size_t kCheapGrain = 4;
+  static constexpr std::size_t kCheckGrain = 1;
+
+  /// Runs f(i) for i in [0, n): serially without a pool, as deterministic
+  /// range tasks on the pool otherwise. f must write only index-addressed
+  /// state (slot i), never shared accumulators.
+  template <typename F>
+  void for_range(std::size_t n, std::size_t grain, const F& f) const {
+    if (pool_ == nullptr) {
+      for (std::size_t i = 0; i < n; ++i) f(i);
+      return;
+    }
+    pool_->parallel_for(n, grain, [&f](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) f(i);
+    });
+  }
+
+  /// Union of all terms as a balanced pairing tree (terms is consumed).
+  /// Round k unites src[2i] with src[2i+1] into dst[i] — the shape depends
+  /// only on the term count, never on scheduling, so the canonical result
+  /// (and with it every downstream id) is identical with and without a
+  /// pool. Each round ping-pongs between two buffers: in-place pairing
+  /// (slot i <- slots 2i,2i+1) is only safe in strict left-to-right order,
+  /// because iteration i overwrites the slot iteration i/2 still has to
+  /// read — a forked chunk starting at i would race an earlier chunk.
+  /// Reading from src and writing to dst keeps every round's tasks
+  /// write-disjoint from their reads.
+  Family balanced_unite(std::vector<Family>& terms) const {
+    if (terms.empty()) return ctx_.empty();
+    std::vector<Family> scratch;
+    std::vector<Family>* src = &terms;
+    std::vector<Family>* dst = &scratch;
+    std::size_t n = terms.size();
+    while (n > 1) {
+      const std::size_t half = n / 2;
+      const std::size_t next_n = half + (n % 2);
+      dst->assign(next_n, ctx_.empty());
+      for_range(half, kCheapGrain, [src, dst](std::size_t i) {
+        (*dst)[i] = (*src)[2 * i].unite((*src)[2 * i + 1]);
+      });
+      if (n % 2 == 1) (*dst)[half] = std::move((*src)[n - 1]);
+      std::swap(src, dst);
+      n = next_n;
+    }
+    return std::move((*src)[0]);
+  }
+
   const petri::PetriNet& net_;
   Context& ctx_;
   petri::ConflictInfo conflicts_;
   GpoOptions options_;
+  util::TaskPool* pool_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------
@@ -516,10 +613,15 @@ auto GpnAnalyzer<Family>::plan_expansion(
   // graph restricted to the *multiple-enabled* transitions. A transition
   // that is single- but not multiple-enabled (every common history committed
   // its tokens to a competitor) is postponed — its scenarios keep their
-  // tokens in place, so nothing is lost by leaving it out.
+  // tokens in place, so nothing is lost by leaving it out. The per-transition
+  // probes are independent: forked over an index-addressed flag array.
+  std::vector<std::uint8_t> multi(single_enabled.size(), 0);
+  for_range(single_enabled.size(), kCheapGrain, [&](std::size_t i) {
+    multi[i] = m_enabled(single_enabled[i], s).is_empty() ? 0 : 1;
+  });
   util::Bitset m_bits(nt);
-  for (petri::TransitionId t : single_enabled)
-    if (!m_enabled(t, s).is_empty()) m_bits.set(t);
+  for (std::size_t i = 0; i < single_enabled.size(); ++i)
+    if (multi[i] != 0) m_bits.set(single_enabled[i]);
   std::vector<std::vector<petri::TransitionId>> dyn_components;
   {
     util::Bitset seen(nt);
@@ -547,9 +649,13 @@ auto GpnAnalyzer<Family>::plan_expansion(
 
   // Candidate check (Section 3.3): trial-fire the component alone; every
   // *other* multiple-enabled component must stay multiple-enabled and every
-  // single-enabled transition outside it must stay single-enabled.
-  std::vector<std::size_t> candidates;
-  for (std::size_t c = 0; c < dyn_components.size(); ++c) {
+  // single-enabled transition outside it must stay single-enabled. Each
+  // check is a full m_update plus re-probes — the expensive heart of MCS
+  // enumeration — and the checks are mutually independent, so they fork
+  // one per task; the verdicts land in index-addressed flags and are
+  // collected in component order.
+  std::vector<std::uint8_t> cand_ok(dyn_components.size(), 0);
+  for_range(dyn_components.size(), kCheckGrain, [&](std::size_t c) {
     State trial = m_update(s, dyn_components[c]);
     util::Bitset in_c(nt);
     for (petri::TransitionId t : dyn_components[c]) in_c.set(t);
@@ -569,8 +675,11 @@ auto GpnAnalyzer<Family>::plan_expansion(
           break;
         }
     }
-    if (ok) candidates.push_back(c);
-  }
+    cand_ok[c] = ok ? 1 : 0;
+  });
+  std::vector<std::size_t> candidates;
+  for (std::size_t c = 0; c < dyn_components.size(); ++c)
+    if (cand_ok[c] != 0) candidates.push_back(c);
 
   Expansion plan;
   if (!candidates.empty()) {
@@ -616,10 +725,16 @@ GpoResult GpnAnalyzer<Family>::explore() const {
   obs::Gauge* live_frontier = nullptr;
   obs::Gauge* live_families = nullptr;
   obs::Timer* mcs_timer = nullptr;
+  obs::Timer* family_ops_timer = nullptr;
   obs::Histogram* expand_hist = nullptr;
   if (options_.metrics != nullptr) {
     mcs_timer =
         &options_.metrics->timer(options_.metrics_prefix + "mcs_seconds");
+    // Per-state phase split: mcs_seconds covers plan_expansion (candidate
+    // enumeration incl. its trial m_updates), family_ops_seconds the
+    // deadlock check and the successor emissions.
+    family_ops_timer = &options_.metrics->timer(options_.metrics_prefix +
+                                                "family_ops_seconds");
     if constexpr (obs::kHotCountersEnabled) {
       expand_hist = &options_.metrics->histogram(options_.metrics_prefix +
                                                  "expand_seconds");
@@ -719,8 +834,11 @@ GpoResult GpnAnalyzer<Family>::explore() const {
       const State s = states[si];  // copy: `states` may grow below
 
       // Deadlock check (before expansion, as in the paper's reach()).
-      if (auto scenario =
-              deadlock_scenario(s, options_.required_witness_place)) {
+      auto scenario = [&] {
+        obs::ScopedTimer ft(family_ops_timer);
+        return deadlock_scenario(s, options_.required_witness_place);
+      }();
+      if (scenario) {
         if (!result.deadlock_found) {
           result.deadlock_found = true;
           petri::Marking witness = scenario_marking(s, *scenario);
@@ -765,7 +883,11 @@ GpoResult GpnAnalyzer<Family>::explore() const {
         }
         label += "}";
         pending_crumb = {si, true, plan.transitions};
-        emit(m_update(s, plan.transitions), fired, label);
+        State next = [&] {
+          obs::ScopedTimer ft(family_ops_timer);
+          return m_update(s, plan.transitions);
+        }();
+        emit(std::move(next), fired, label);
       } else {
         ++result.single_steps;
         if (plan.transitions.size() == single_enabled.size())
@@ -774,7 +896,11 @@ GpoResult GpnAnalyzer<Family>::explore() const {
           util::Bitset fired(nt);
           fired.set(t);
           pending_crumb = {si, false, {t}};
-          emit(s_update(s, t), fired, net_.transition(t).name);
+          State next = [&] {
+            obs::ScopedTimer ft(family_ops_timer);
+            return s_update(s, t);
+          }();
+          emit(std::move(next), fired, net_.transition(t).name);
         }
       }
     }

@@ -16,6 +16,10 @@
 #include "util/bitset.hpp"
 #include "util/cancel_token.hpp"
 
+namespace gpo::util {
+class TaskPool;
+}
+
 namespace gpo::core {
 
 /// Storage backend for the canonical families of the reduced search.
@@ -92,6 +96,15 @@ struct GpoOptions {
   /// Callers that reduce once for several engines (the CLI, the portfolio
   /// scheduler) keep this kOff and map counterexamples themselves.
   reduce::ReduceLevel reduce_level = reduce::ReduceLevel::kOff;
+  /// Fork-join pool for intra-state parallelism. When set, the analyzer's
+  /// semantic methods (m_update / deadlock_scenario / plan_expansion /
+  /// single_enabled_transitions) fork their per-transition terms, candidate
+  /// checks and reduction-tree levels onto it as fine-grained range tasks —
+  /// with deterministic chunking and index-addressed writes, so all results
+  /// stay bitwise identical to the sequential evaluation. Requires a
+  /// thread-safe family context (the lock-free FamilyInterner); the engines
+  /// set it, callers normally leave it null.
+  util::TaskPool* task_pool = nullptr;
 };
 
 /// Counters specific to the parallel GPN engine (threads == 0 when the
@@ -101,6 +114,10 @@ struct GpoParallelStats {
   std::size_t steal_count = 0;
   std::size_t peak_frontier = 0;
   std::size_t shard_count = 0;
+  /// Fine-grained intra-state range tasks forked onto the pool (0 on the
+  /// sequential path: the models' GPN graphs are tiny, so this — not
+  /// peak_frontier — is where the parallelism lives).
+  std::size_t fork_tasks = 0;
   double states_per_second = 0.0;
 };
 
@@ -193,6 +210,12 @@ struct GpoResult {
 
   /// Work-stealing counters (parallel runs only; threads == 0 otherwise).
   GpoParallelStats parallel;
+
+  /// Human-readable diagnostics about ignored or demoted options (e.g. the
+  /// zdd store forcing --threads back to the sequential engine). The CLI
+  /// prints them to stderr; the portfolio scheduler copies them into
+  /// jobs[].warnings in the batch report.
+  std::vector<std::string> warnings;
 
   petri::LabeledGraph graph;  // populated when GpoOptions::build_graph
 };

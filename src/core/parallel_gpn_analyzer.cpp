@@ -4,14 +4,13 @@
 #include <atomic>
 #include <mutex>
 #include <optional>
-#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "util/sharded_state_set.hpp"
 #include "util/stopwatch.hpp"
-#include "util/work_stealing.hpp"
+#include "util/task_pool.hpp"
 
 namespace gpo::core {
 
@@ -37,7 +36,7 @@ struct WorkItem {
 };
 
 /// Per-state facts recorded at expansion time and merged into dense arrays
-/// after join. Each state is expanded by exactly one worker, so the
+/// after join. Each state is expanded by exactly one job, so the
 /// per-worker lists are disjoint.
 struct ExpansionRecord {
   StateId id = 0;
@@ -51,11 +50,12 @@ struct EdgeRecord {
 };
 
 // Counters and facts each worker accumulates privately, merged once at join.
+// A state-expansion job runs start-to-finish on one worker (only parallel_for
+// range tasks migrate), so tallies[pool.current_worker()] is never shared.
 struct WorkerTally {
   std::size_t edge_count = 0;
   std::size_t multiple_steps = 0;
   std::size_t single_steps = 0;
-  std::size_t steal_count = 0;
   std::size_t expansions = 0;
   util::Bitset fireable;
   std::vector<ExpansionRecord> expanded;
@@ -66,13 +66,14 @@ struct WorkerTally {
 
 // State shared by all workers for one exploration.
 struct SharedSearch {
-  const Analyzer& analyzer;
+  const Analyzer& analyzer;  // pool-attached: its semantic methods fork
   const GpoOptions& options;
+  util::TaskPool& pool;
+  std::vector<WorkerTally>& tallies;
   StateSet set;
-  util::WorkStealingQueues<WorkItem> queues;
   util::Stopwatch timer;
 
-  /// Discovered states not yet fully expanded; 0 with empty deques = done.
+  /// Discovered states not yet fully expanded (the live frontier).
   std::atomic<std::uint64_t> in_flight{0};
   std::atomic<std::uint64_t> peak_in_flight{0};
   std::atomic<bool> stop{false};
@@ -81,20 +82,21 @@ struct SharedSearch {
   std::atomic<bool> dead_stop{false};  // stop_at_first_deadlock fired
 
   // Live-progress slots (null when telemetry is off or the hot counters were
-  // compiled out) and the always-on MCS timer. All relaxed atomics.
+  // compiled out) and the always-on phase timers. All relaxed atomics.
   obs::Counter* live_states = nullptr;
   obs::Gauge* live_frontier = nullptr;
   obs::Gauge* live_families = nullptr;
   obs::Timer* mcs_timer = nullptr;
+  obs::Timer* family_ops_timer = nullptr;
   FamilyInterner* interner = nullptr;
 
   // Rarely touched "first witness" slot, hence one plain mutex.
   std::mutex first_mu;
   std::optional<std::pair<StateId, TransitionSet>> first_dead;
 
-  SharedSearch(const Analyzer& a, const GpoOptions& o, std::size_t threads,
-               std::size_t shards)
-      : analyzer(a), options(o), set(shards), queues(threads) {}
+  SharedSearch(const Analyzer& a, const GpoOptions& o, util::TaskPool& p,
+               std::vector<WorkerTally>& t, std::size_t shards)
+      : analyzer(a), options(o), pool(p), tallies(t), set(shards) {}
 
   void note_peak(std::uint64_t current) {
     std::uint64_t prev = peak_in_flight.load(std::memory_order_relaxed);
@@ -104,14 +106,22 @@ struct SharedSearch {
   }
 };
 
-void expand(SharedSearch& shared, std::size_t me, const WorkItem& item,
-            WorkerTally& tally) {
+void submit_state(SharedSearch& shared, WorkItem item);
+
+/// One state expansion, run as a pool job. The intra-state parallelism lives
+/// *inside* the analyzer calls below (deadlock_scenario / plan_expansion /
+/// m_update fork their term and candidate loops back onto the same pool), so
+/// even a 2-state graph keeps every worker busy.
+void expand(SharedSearch& shared, const WorkItem& item, WorkerTally& tally) {
   const Analyzer& an = shared.analyzer;
   const State& s = item.state;
 
   // Deadlock check (before expansion, as in the sequential engine).
-  if (auto scenario =
-          an.deadlock_scenario(s, shared.options.required_witness_place)) {
+  auto scenario = [&] {
+    obs::ScopedTimer ft(shared.family_ops_timer);
+    return an.deadlock_scenario(s, shared.options.required_witness_place);
+  }();
+  if (scenario) {
     {
       std::lock_guard<std::mutex> lock(shared.first_mu);
       if (!shared.first_dead) shared.first_dead = {item.id, *scenario};
@@ -143,7 +153,8 @@ void expand(SharedSearch& shared, std::size_t me, const WorkItem& item,
   auto emit = [&](State&& next, util::Bitset&& fired, bool multiple,
                   const std::vector<petri::TransitionId>& batch) {
     ++tally.edge_count;
-    auto [nid, fresh] = shared.set.insert(next, Crumb{item.id, multiple, batch});
+    auto [nid, fresh] =
+        shared.set.insert(next, Crumb{item.id, multiple, batch});
     tally.edges.push_back({item.id, nid, std::move(fired)});
     if (!fresh) return;
     if (shared.set.size() > shared.options.max_states) {
@@ -156,25 +167,24 @@ void expand(SharedSearch& shared, std::size_t me, const WorkItem& item,
       shared.stop.store(true, std::memory_order_relaxed);
       return;
     }
-    std::uint64_t now =
-        shared.in_flight.fetch_add(1, std::memory_order_seq_cst) + 1;
-    shared.note_peak(now);
     if (shared.live_states != nullptr) {
       shared.live_states->add();
-      shared.live_frontier->set(static_cast<double>(now));
       if (shared.live_families != nullptr)
         shared.live_families->set(
             static_cast<double>(shared.interner->size()));
     }
-    shared.queues.push(me, {nid, std::move(next)});
+    submit_state(shared, {nid, std::move(next)});
   };
 
   if (plan.multiple) {
     ++tally.multiple_steps;
     util::Bitset fired(tally.fireable.size());
     for (petri::TransitionId t : plan.transitions) fired.set(t);
-    emit(an.m_update(s, plan.transitions), std::move(fired), true,
-         plan.transitions);
+    State next = [&] {
+      obs::ScopedTimer ft(shared.family_ops_timer);
+      return an.m_update(s, plan.transitions);
+    }();
+    emit(std::move(next), std::move(fired), true, plan.transitions);
   } else {
     ++tally.single_steps;
     if (plan.transitions.size() == single_enabled.size())
@@ -182,32 +192,39 @@ void expand(SharedSearch& shared, std::size_t me, const WorkItem& item,
     for (petri::TransitionId t : plan.transitions) {
       util::Bitset fired(tally.fireable.size());
       fired.set(t);
-      emit(an.s_update(s, t), std::move(fired), false, {t});
+      State next = [&] {
+        obs::ScopedTimer ft(shared.family_ops_timer);
+        return an.s_update(s, t);
+      }();
+      emit(std::move(next), std::move(fired), false, {t});
       if (shared.stop.load(std::memory_order_relaxed)) break;
     }
   }
   tally.expanded.push_back(std::move(rec));
 }
 
-void worker(SharedSearch& shared, std::size_t me, WorkerTally& tally) {
-  WorkItem item;
-  while (!shared.stop.load(std::memory_order_relaxed)) {
-    bool stolen = false;
-    if (!shared.queues.acquire(me, item, stolen)) {
-      if (shared.in_flight.load(std::memory_order_seq_cst) == 0) return;
-      std::this_thread::yield();
-      continue;
+/// Enqueues one discovered state as a fire-and-forget job. The frontier
+/// counter is bumped before the submit so peak_in_flight never misses a
+/// live state; the job decrements it on every exit path.
+void submit_state(SharedSearch& shared, WorkItem item) {
+  const std::uint64_t now =
+      shared.in_flight.fetch_add(1, std::memory_order_seq_cst) + 1;
+  shared.note_peak(now);
+  if (shared.live_frontier != nullptr)
+    shared.live_frontier->set(static_cast<double>(now));
+  shared.pool.submit([&shared, item = std::move(item)] {
+    if (!shared.stop.load(std::memory_order_relaxed)) {
+      WorkerTally& tally = shared.tallies[shared.pool.current_worker()];
+      expand(shared, item, tally);
+      if (util::cancel_requested(shared.options.cancel) ||
+          ((++tally.expansions & 0x3f) == 0 &&
+           shared.timer.elapsed_seconds() > shared.options.max_seconds)) {
+        shared.limit_hit.store(true, std::memory_order_relaxed);
+        shared.stop.store(true, std::memory_order_relaxed);
+      }
     }
-    if (stolen) ++tally.steal_count;
-    expand(shared, me, item, tally);
     shared.in_flight.fetch_sub(1, std::memory_order_seq_cst);
-    if (util::cancel_requested(shared.options.cancel) ||
-        ((++tally.expansions & 0x3f) == 0 &&
-         shared.timer.elapsed_seconds() > shared.options.max_seconds)) {
-      shared.limit_hit.store(true, std::memory_order_relaxed);
-      shared.stop.store(true, std::memory_order_relaxed);
-    }
-  }
+  });
 }
 
 }  // namespace
@@ -229,11 +246,26 @@ GpoResult ParallelGpnAnalyzer::explore() const {
   GpoResult result;
   result.fireable_transitions = util::Bitset(nt);
 
-  SharedSearch shared(analyzer_, options_, threads, shards);
+  // One fork-join pool carries both granularities: every discovered state is
+  // a fire-and-forget job, and the analyzer (handed the pool through
+  // GpoOptions::task_pool) forks its per-transition terms, candidate checks
+  // and reduction-tree levels as range tasks onto the same workers. Workers
+  // prefer range tasks, so a lone expensive state still saturates the pool.
+  util::TaskPool pool(threads);
+  GpoOptions pooled_options = options_;
+  pooled_options.task_pool = &pool;
+  Analyzer pooled_analyzer(net_, ctx_, pooled_options);
+
+  std::vector<WorkerTally> tallies(threads);
+  for (WorkerTally& t : tallies) t.fireable = util::Bitset(nt);
+
+  SharedSearch shared(pooled_analyzer, options_, pool, tallies, shards);
   shared.interner = &ctx_.interner();
   if (options_.metrics != nullptr) {
     shared.mcs_timer =
         &options_.metrics->timer(options_.metrics_prefix + "mcs_seconds");
+    shared.family_ops_timer = &options_.metrics->timer(
+        options_.metrics_prefix + "family_ops_seconds");
     if constexpr (obs::kHotCountersEnabled) {
       shared.live_states = &options_.metrics->counter("progress.states");
       shared.live_frontier = &options_.metrics->gauge("progress.frontier");
@@ -241,38 +273,29 @@ GpoResult ParallelGpnAnalyzer::explore() const {
     }
   }
 
-  std::vector<WorkerTally> tallies(threads);
-  for (WorkerTally& t : tallies) t.fireable = util::Bitset(nt);
-
   {
+    obs::Span span(options_.tracer, "reduced-search");
     State root = analyzer_.initial_state();
     auto [rid, fresh] = shared.set.insert(root, Crumb{});
     (void)fresh;
     if (shared.live_states != nullptr) shared.live_states->add();
-    shared.in_flight.store(1, std::memory_order_seq_cst);
-    shared.note_peak(1);
-    shared.queues.push(0, {rid, std::move(root)});
+    submit_state(shared, {rid, std::move(root)});
+    pool.wait_all_jobs();
   }
 
-  {
-    obs::Span span(options_.tracer, "reduced-search");
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::size_t i = 0; i < threads; ++i)
-      pool.emplace_back(
-          [&shared, &tallies, i] { worker(shared, i, tallies[i]); });
-    for (std::thread& t : pool) t.join();
-  }
-
-  // All workers joined: the set, the tallies and the witness slot are
-  // quiescent; entry references are stable from here on.
-  for (const WorkerTally& t : tallies) {
+  // All jobs drained: the set, the tallies and the witness slot are
+  // quiescent; entry references are stable from here on. (The workers still
+  // run — the post phases below don't use them — and the pool joins them at
+  // scope exit.)
+  for (std::size_t i = 0; i < tallies.size(); ++i) {
+    const WorkerTally& t = tallies[i];
     result.edge_count += t.edge_count;
     result.multiple_steps += t.multiple_steps;
     result.single_steps += t.single_steps;
     result.fireable_transitions |= t.fireable;
-    result.parallel.steal_count += t.steal_count;
+    result.parallel.steal_count += pool.steal_count(i);
   }
+  result.parallel.fork_tasks = pool.total_forks();
   result.state_count = shared.set.size();
   result.limit_hit = shared.limit_hit.load(std::memory_order_relaxed);
   if (result.limit_hit) result.interrupted_phase = "reduced-search";
@@ -361,7 +384,7 @@ GpoResult ParallelGpnAnalyzer::explore() const {
     for (std::size_t i = 0; i < tallies.size(); ++i) {
       const std::string w = p + "worker." + std::to_string(i) + ".";
       reg.counter(w + "expansions").store(tallies[i].expansions);
-      reg.counter(w + "steals").store(tallies[i].steal_count);
+      reg.counter(w + "steals").store(pool.steal_count(i));
       reg.counter(w + "edges").store(tallies[i].edge_count);
     }
     if (shared.live_families != nullptr)

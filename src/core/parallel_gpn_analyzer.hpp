@@ -1,24 +1,34 @@
-// Work-stealing parallel GPO exploration over the concurrent FamilyInterner.
+// Fork-join parallel GPO exploration over the lock-free FamilyInterner.
 //
 // The sequential GpnAnalyzer explores the reduced GPN state graph with one
-// BFS; this engine runs the same per-state expansion from N worker threads:
-//   * frontier: gpo::util::WorkStealingQueues<WorkItem> (one deque per
-//     worker, owner LIFO / thief FIFO, round-robin victims);
+// BFS; this engine runs the same per-state expansion on a util::TaskPool of
+// N workers, at two granularities simultaneously:
+//   * states: every discovered GPN state is one fire-and-forget pool job
+//     (work-stealing deques, owner LIFO / thief FIFO) — the PR 4 layer;
+//   * intra-state: the expansion jobs hand the pool to the analyzer through
+//     GpoOptions::task_pool, so the expensive interior of each expansion
+//     (per-transition s_enabled/m_enabled terms, candidate-MCS trial checks,
+//     the balanced union-tree levels) forks as fine-grained range tasks onto
+//     the *same* workers. BENCH_gpo_parallel showed the paper's models have
+//     2-18 states with peak frontier 2 — the state layer alone has nothing
+//     to steal, and this layer is where the speedup actually comes from;
 //   * visited set: gpo::util::ShardedStateSet<GpnState, Crumb> — each
 //     distinct GPN state interned once, with its discovery breadcrumb
 //     (parent id, firing mode, fired transitions) for counterexample replay;
-//   * family algebra: the shared FamilyInterner (striped unique table,
-//     per-thread op caches), so workers intern and operate on families
-//     without a global lock.
+//   * family algebra: the shared FamilyInterner (lock-free CAS-insert unique
+//     table, per-thread op caches), so workers intern and operate on
+//     families without any lock.
 //
 // Determinism: per-state expansion (plan_expansion + s_update/m_update) is a
-// pure function of the state, so the set of reachable GPN states — and with
-// it state/edge counts, step counts, fireable transitions, the deadlock
-// verdict and the guard/bail-out decisions — is independent of exploration
-// order and thread count. Only *which* dead scenario becomes the reported
-// counterexample is scheduling-dependent; it always replays to a classical
-// firing sequence (the cross-check tests verify all of this against the
-// sequential engine).
+// pure function of the state — including its forked interior, whose chunk
+// boundaries and reduction-tree shape depend only on term counts and whose
+// tasks write index-addressed slots merged in index order. The set of
+// reachable GPN states — and with it state/edge counts, step counts,
+// fireable transitions, the deadlock verdict and the guard/bail-out
+// decisions — is therefore independent of scheduling and thread count. Only
+// *which* dead scenario becomes the reported counterexample is
+// scheduling-dependent; it always replays to a classical firing sequence
+// (the cross-check tests verify all of this against the sequential engine).
 //
 // The post-search phases (fragmentation bail-out, anti-ignoring guard,
 // counterexample replay) run single-threaded after the workers join, through

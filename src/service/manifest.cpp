@@ -82,6 +82,9 @@ JobSpec parse_job_line(const std::string& line, std::size_t line_no) {
           fail(line_no, "reduce must be off, safe or aggressive, got '" +
                             value + "'");
         spec.reduce = value;
+      } else if (key == "threads") {
+        spec.threads = std::stoul(value);
+        if (spec.threads == 0) fail(line_no, "threads must be positive");
       } else if (key == "expect") {
         if (value != "deadlock" && value != "no-deadlock")
           fail(line_no, "expect must be deadlock or no-deadlock, got '" +

@@ -57,6 +57,10 @@ void print_job(const JobResult& r) {
   if (r.cancel_latency_seconds > 0)
     std::cout << ", cancel latency " << r.cancel_latency_seconds << "s";
   std::cout << ")\n";
+  for (const EngineOutcome& o : r.engines)
+    for (const std::string& w : o.warnings)
+      std::cerr << "warning: job " << r.id << " " << o.engine << ": " << w
+                << "\n";
 }
 
 /// Stderr dump of the scheduler's own telemetry scope (--stats): one line

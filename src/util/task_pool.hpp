@@ -1,0 +1,265 @@
+// Fork-join task pool over the shared WorkStealingQueues deques.
+//
+// PR 4 parallelized the GPN search at state granularity; BENCH_gpo_parallel
+// then showed the paper's models give that engine nothing to chew on (2-18
+// states, peak frontier 2, zero steals). The pool below re-targets the same
+// work-stealing substrate at the *interior* of one state expansion: a worker
+// expanding a state forks the candidate-MCS checks and family-op reduction
+// levels as fine-grained range tasks, and every idle worker — including
+// workers whose own state queue ran dry — helps drain them.
+//
+// Two task channels share one set of workers:
+//   * jobs:  fire-and-forget closures (the engine submits one per discovered
+//     state). Tracked by an outstanding counter; wait_all_jobs() blocks a
+//     non-worker caller until the count drains to zero. Jobs may submit
+//     further jobs (the increment happens before the push, so the counter
+//     can never be observed at zero with work still queued).
+//   * forks: index-range subtasks created by parallel_for(). Workers always
+//     prefer forks over jobs, and a forker blocked on its join helps with
+//     *forks only* — never with jobs — so join-helping cannot recursively
+//     start another state expansion and grow the stack with the state graph.
+//
+// Determinism contract (relied on by the GPN engines' cross-check tests):
+// parallel_for() fixes the chunk boundaries as a pure function of (n, grain,
+// worker_count) and each chunk writes only caller-owned, index-addressed
+// slots. Which worker runs which chunk — and in which order — varies run to
+// run, but the written slots, and therefore everything merged from them in
+// index order after the join, are bitwise identical to the serial execution.
+//
+// Blocking/progress: pushes and pops take the per-deque mutex (see
+// work_stealing.hpp for why that is deliberately boring); a forker whose
+// last chunk was stolen spin-yields on the join counter until the thief
+// publishes. Idle workers spin briefly, then park on a condition variable
+// with a timeout, so an idle pool costs microseconds of wakeups rather than
+// a spinning core per worker.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/work_stealing.hpp"
+
+namespace gpo::util {
+
+class TaskPool {
+ public:
+  using Job = std::function<void()>;
+  /// Half-open index range body; must be safe to run concurrently with other
+  /// chunks of the same loop (write only index-addressed slots).
+  using RangeBody = std::function<void(std::size_t, std::size_t)>;
+
+  static constexpr std::size_t kNotAWorker = ~std::size_t{0};
+
+  explicit TaskPool(std::size_t workers)
+      : jobs_(workers == 0 ? 1 : workers),
+        forks_(workers == 0 ? 1 : workers),
+        steals_(jobs_.worker_count()),
+        fork_tasks_(jobs_.worker_count()) {
+    threads_.reserve(jobs_.worker_count());
+    for (std::size_t i = 0; i < jobs_.worker_count(); ++i)
+      threads_.emplace_back([this, i] { run_worker(i); });
+  }
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  ~TaskPool() { shutdown(); }
+
+  /// Drains nothing: callers are expected to wait_all_jobs() first. Joins
+  /// the workers; queued-but-unstarted jobs after a stop flag are the
+  /// caller's contract to make cheap (every engine task polls its stop).
+  void shutdown() {
+    if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cv_.notify_all();
+    }
+    for (std::thread& t : threads_) t.join();
+    threads_.clear();
+  }
+
+  [[nodiscard]] std::size_t worker_count() const {
+    return jobs_.worker_count();
+  }
+
+  /// The calling thread's worker index, or kNotAWorker for outside callers.
+  [[nodiscard]] std::size_t current_worker() const {
+    return tls_pool == this ? tls_worker : kNotAWorker;
+  }
+
+  /// Enqueues a fire-and-forget closure. Callable from workers (lands on the
+  /// caller's own deque, LIFO-hot) and from outside threads (round-robin).
+  void submit(Job j) {
+    outstanding_.fetch_add(1, std::memory_order_seq_cst);
+    std::size_t me = current_worker();
+    if (me == kNotAWorker)
+      me = rr_.fetch_add(1, std::memory_order_relaxed) % worker_count();
+    jobs_.push(me, std::move(j));
+    wake(1);
+  }
+
+  /// Jobs submitted but not yet finished (forks are nested inside jobs and
+  /// are not counted). Zero means the pool is quiescent w.r.t. jobs.
+  [[nodiscard]] std::uint64_t outstanding_jobs() const {
+    return outstanding_.load(std::memory_order_seq_cst);
+  }
+
+  /// Blocks a non-worker caller until every submitted job has finished.
+  void wait_all_jobs() {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] {
+      return outstanding_.load(std::memory_order_seq_cst) == 0;
+    });
+  }
+
+  /// Runs body over [0, n) with deterministic chunk boundaries, forking the
+  /// chunks onto the pool when the caller is a worker and the range is worth
+  /// splitting; otherwise runs serially inline. The caller executes chunk 0
+  /// itself and helps with forks (only) until the join completes.
+  void parallel_for(std::size_t n, std::size_t grain, const RangeBody& body) {
+    if (n == 0) return;
+    const std::size_t me = current_worker();
+    if (me == kNotAWorker || worker_count() <= 1 || n <= grain ||
+        stopping_.load(std::memory_order_relaxed)) {
+      body(0, n);
+      return;
+    }
+    // Deterministic split: ~2 chunks per worker, each at least `grain` wide.
+    std::size_t chunks = n / grain;
+    chunks = std::min(chunks, worker_count() * 2);
+    if (chunks <= 1) {
+      body(0, n);
+      return;
+    }
+    Join join{&body};
+    join.remaining.store(chunks, std::memory_order_relaxed);
+    const std::size_t base = n / chunks, rem = n % chunks;
+    std::size_t begin = base + (rem > 0 ? 1 : 0);  // chunk 0 kept for self
+    for (std::size_t k = 1; k < chunks; ++k) {
+      const std::size_t len = base + (k < rem ? 1 : 0);
+      forks_.push(me, ForkTask{&join, begin, begin + len});
+      fork_tasks_[me].fetch_add(1, std::memory_order_relaxed);
+      begin += len;
+    }
+    wake(chunks - 1);
+    body(0, base + (rem > 0 ? 1 : 0));
+    join.remaining.fetch_sub(1, std::memory_order_acq_rel);
+    // Help until the join drains; forks only, so the stack stays bounded.
+    ForkTask ft;
+    bool stolen = false;
+    while (join.remaining.load(std::memory_order_acquire) != 0) {
+      if (forks_.acquire(me, ft, stolen)) {
+        if (stolen) steals_[me].fetch_add(1, std::memory_order_relaxed);
+        run_fork(ft);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  /// Work items taken from another worker's deque (jobs + forks), per
+  /// worker; exact once the pool quiesces.
+  [[nodiscard]] std::size_t steal_count(std::size_t worker) const {
+    return steals_[worker].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t total_steals() const {
+    std::size_t sum = 0;
+    for (const auto& s : steals_) sum += s.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  /// Range tasks forked by parallel_for (not counting the chunk the forker
+  /// runs itself); exact once the pool quiesces.
+  [[nodiscard]] std::size_t total_forks() const {
+    std::size_t sum = 0;
+    for (const auto& f : fork_tasks_) sum += f.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  struct Join {
+    const RangeBody* body;
+    std::atomic<std::size_t> remaining{0};
+  };
+  struct ForkTask {
+    Join* join = nullptr;
+    std::size_t begin = 0, end = 0;
+  };
+
+  static void run_fork(const ForkTask& ft) {
+    (*ft.join->body)(ft.begin, ft.end);
+    ft.join->remaining.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  void run_worker(std::size_t me) {
+    tls_pool = this;
+    tls_worker = me;
+    Job job;
+    ForkTask ft;
+    bool stolen = false;
+    unsigned idle_spins = 0;
+    while (true) {
+      if (forks_.acquire(me, ft, stolen)) {
+        if (stolen) steals_[me].fetch_add(1, std::memory_order_relaxed);
+        run_fork(ft);
+        idle_spins = 0;
+        continue;
+      }
+      if (jobs_.acquire(me, job, stolen)) {
+        if (stolen) steals_[me].fetch_add(1, std::memory_order_relaxed);
+        job();
+        job = nullptr;  // release captures before the counter says "done"
+        if (outstanding_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+          std::lock_guard<std::mutex> lock(mu_);
+          done_cv_.notify_all();
+        }
+        idle_spins = 0;
+        continue;
+      }
+      if (stopping_.load(std::memory_order_acquire)) return;
+      if (++idle_spins < 64) {
+        std::this_thread::yield();
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+  }
+
+  void wake(std::size_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (n == 1)
+      cv_.notify_one();
+    else
+      cv_.notify_all();
+  }
+
+  // One thread-local (pool, index) pair: a thread belongs to at most one
+  // pool at a time, which is all the engines need.
+  static thread_local TaskPool* tls_pool;
+  static thread_local std::size_t tls_worker;
+
+  WorkStealingQueues<Job> jobs_;
+  WorkStealingQueues<ForkTask> forks_;
+  std::vector<std::atomic<std::size_t>> steals_;
+  std::vector<std::atomic<std::size_t>> fork_tasks_;
+  std::vector<std::thread> threads_;
+  std::atomic<std::uint64_t> outstanding_{0};
+  std::atomic<std::size_t> rr_{0};
+  std::atomic<bool> stopping_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;       // idle workers park here
+  std::condition_variable done_cv_;  // wait_all_jobs parks here
+};
+
+inline thread_local TaskPool* TaskPool::tls_pool = nullptr;
+inline thread_local std::size_t TaskPool::tls_worker = 0;
+
+}  // namespace gpo::util

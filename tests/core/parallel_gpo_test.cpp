@@ -1,4 +1,4 @@
-// Determinism cross-checks for the work-stealing GPO engine: on every model,
+// Determinism cross-checks for the fork-join GPO engine: on every model,
 // the parallel interned path (2/4/8 threads) must produce the same verdict,
 // state/edge counts, step mix and fireability as the sequential path, and
 // any reported counterexample must replay to the witness under the classical
@@ -89,7 +89,7 @@ TEST(ParallelGpo, ExampleNets) {
 }
 
 TEST(ParallelGpo, RandomNets) {
-  for (std::uint64_t seed = 5100; seed < 5130; ++seed) {
+  for (std::uint64_t seed = 5100; seed < 5160; ++seed) {
     models::RandomNetParams p;
     p.machines = 2 + seed % 3;
     p.states_per_machine = 3;

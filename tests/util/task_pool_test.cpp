@@ -1,0 +1,182 @@
+// Fork-join TaskPool unit tests: job tracking, parallel_for completeness and
+// determinism of the chunk layout, nesting, and the counter surface the GPN
+// engines publish. Labeled `parallel` so the TSan CI leg races the pool for
+// real.
+#include "util/task_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace gpo::util {
+namespace {
+
+TEST(TaskPool, RunsSubmittedJobs) {
+  TaskPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_all_jobs();
+  EXPECT_EQ(ran.load(), 100);
+  EXPECT_EQ(pool.outstanding_jobs(), 0u);
+}
+
+TEST(TaskPool, JobsMaySubmitMoreJobs) {
+  TaskPool pool(4);
+  std::atomic<int> ran{0};
+  // A 3-level fan-out submitted from inside jobs: wait_all_jobs must not
+  // return while recursively-submitted work is still outstanding.
+  pool.submit([&] {
+    ran.fetch_add(1);
+    for (int i = 0; i < 10; ++i)
+      pool.submit([&] {
+        ran.fetch_add(1);
+        for (int j = 0; j < 10; ++j) pool.submit([&] { ran.fetch_add(1); });
+      });
+  });
+  pool.wait_all_jobs();
+  EXPECT_EQ(ran.load(), 1 + 10 + 100);
+}
+
+TEST(TaskPool, ParallelForCoversEveryIndexExactlyOnce) {
+  TaskPool pool(8);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  // parallel_for only forks from worker threads; drive it from a job.
+  pool.submit([&] {
+    pool.parallel_for(kN, 1, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i)
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  pool.wait_all_jobs();
+  for (std::size_t i = 0; i < kN; ++i)
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(TaskPool, ParallelForFromOutsideRunsSerially) {
+  TaskPool pool(4);
+  // Outside callers are not workers: the loop must still run (inline).
+  std::vector<int> hits(64, 0);
+  pool.parallel_for(hits.size(), 4, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i] += 1;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+  EXPECT_EQ(pool.total_forks(), 0u);
+}
+
+TEST(TaskPool, ParallelForRespectsGrain) {
+  TaskPool pool(4);
+  // n <= grain: no forks, one inline call.
+  std::atomic<std::size_t> calls{0};
+  pool.submit([&] {
+    pool.parallel_for(4, 8, [&](std::size_t b, std::size_t e) {
+      calls.fetch_add(1);
+      EXPECT_EQ(b, 0u);
+      EXPECT_EQ(e, 4u);
+    });
+  });
+  pool.wait_all_jobs();
+  EXPECT_EQ(calls.load(), 1u);
+  EXPECT_EQ(pool.total_forks(), 0u);
+}
+
+TEST(TaskPool, NestedParallelForCompletes) {
+  TaskPool pool(4);
+  constexpr std::size_t kOuter = 16, kInner = 64;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.submit([&] {
+    pool.parallel_for(kOuter, 1, [&](std::size_t ob, std::size_t oe) {
+      for (std::size_t o = ob; o < oe; ++o)
+        pool.parallel_for(kInner, 4, [&, o](std::size_t b, std::size_t e) {
+          for (std::size_t i = b; i < e; ++i)
+            hits[o * kInner + i].fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+  });
+  pool.wait_all_jobs();
+  long sum = 0;
+  for (auto& h : hits) sum += h.load();
+  EXPECT_EQ(sum, static_cast<long>(kOuter * kInner));
+}
+
+TEST(TaskPool, DeterministicChunkLayout) {
+  // The chunk boundaries are a pure function of (n, grain, worker_count):
+  // two runs over the same range must produce the same [begin, end) set.
+  auto layout = [](std::size_t workers, std::size_t n, std::size_t grain) {
+    TaskPool pool(workers);
+    std::mutex mu;
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    pool.submit([&] {
+      pool.parallel_for(n, grain, [&](std::size_t b, std::size_t e) {
+        std::lock_guard<std::mutex> lock(mu);
+        chunks.emplace_back(b, e);
+      });
+    });
+    pool.wait_all_jobs();
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  auto a = layout(4, 1000, 8);
+  auto b = layout(4, 1000, 8);
+  EXPECT_EQ(a, b);
+  // Coverage: chunks tile [0, 1000) without gap or overlap.
+  std::size_t expect_begin = 0;
+  for (const auto& [cb, ce] : a) {
+    EXPECT_EQ(cb, expect_begin);
+    EXPECT_LT(cb, ce);
+    expect_begin = ce;
+  }
+  EXPECT_EQ(expect_begin, 1000u);
+}
+
+TEST(TaskPool, CurrentWorkerIdentification) {
+  TaskPool pool(3);
+  EXPECT_EQ(pool.current_worker(), TaskPool::kNotAWorker);
+  EXPECT_EQ(pool.worker_count(), 3u);
+  std::atomic<bool> ok{false};
+  pool.submit([&] {
+    ok.store(pool.current_worker() < pool.worker_count());
+  });
+  pool.wait_all_jobs();
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(TaskPool, ForkAndStealCountersQuiesce) {
+  TaskPool pool(4);
+  std::atomic<long> sum{0};
+  for (int j = 0; j < 8; ++j)
+    pool.submit([&] {
+      pool.parallel_for(512, 1, [&](std::size_t b, std::size_t e) {
+        long s = 0;
+        for (std::size_t i = b; i < e; ++i) s += static_cast<long>(i);
+        sum.fetch_add(s, std::memory_order_relaxed);
+      });
+    });
+  pool.wait_all_jobs();
+  EXPECT_EQ(sum.load(), 8L * (511L * 512L / 2));
+  // Each loop forks chunks-1 tasks; with 4 workers and grain 1 the layout
+  // caps at 8 chunks, so 8 loops fork 56 tasks total.
+  EXPECT_EQ(pool.total_forks(), 56u);
+  std::size_t per_worker = 0;
+  for (std::size_t w = 0; w < pool.worker_count(); ++w)
+    per_worker += pool.steal_count(w);
+  EXPECT_EQ(per_worker, pool.total_steals());
+}
+
+TEST(TaskPool, ZeroWorkersClampsToOne) {
+  TaskPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 1u);
+  std::atomic<int> ran{0};
+  pool.submit([&] { ran.fetch_add(1); });
+  pool.wait_all_jobs();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+}  // namespace
+}  // namespace gpo::util
